@@ -1,0 +1,20 @@
+//! Criterion bench for Fig. 11 (prediction accuracy across shapes).
+//!
+//! Prints the regenerated artifact once (quick effort), then measures the
+//! end-to-end runner. `repro -- fig11` produces the full-effort version.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wanify_experiments::fig11;
+use wanify_experiments::Effort;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig11::run(Effort::Quick, 42).render());
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.bench_function("cluster_shapes", |b| b.iter(|| fig11::run(Effort::Quick, black_box(42))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

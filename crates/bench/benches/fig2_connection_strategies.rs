@@ -1,0 +1,19 @@
+//! Criterion bench for Fig. 2 (connection strategies on 3 DCs).
+//!
+//! Prints the regenerated artifact once (full fidelity), then measures the
+//! end-to-end runner. `repro -- fig2` produces the full-effort version.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wanify_experiments::fig2;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig2::run(42).render());
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("three_strategies", |b| b.iter(|| fig2::run(black_box(42))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

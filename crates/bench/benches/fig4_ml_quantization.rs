@@ -1,0 +1,20 @@
+//! Criterion bench for Fig. 4 (ML quantization variants).
+//!
+//! Prints the regenerated artifact once (quick effort), then measures the
+//! end-to-end runner. `repro -- fig4` produces the full-effort version.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wanify_experiments::fig4;
+use wanify_experiments::Effort;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig4::run(Effort::Quick, 42).render());
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("five_variants", |b| b.iter(|| fig4::run(Effort::Quick, black_box(42))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

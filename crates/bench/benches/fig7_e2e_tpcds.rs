@@ -1,0 +1,20 @@
+//! Criterion bench for Fig. 7 (end-to-end TPC-DS).
+//!
+//! Prints the regenerated artifact once (quick effort), then measures the
+//! end-to-end runner. `repro -- fig7` produces the full-effort version.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wanify_experiments::fig7;
+use wanify_experiments::Effort;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig7::run(Effort::Quick, 42).render());
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("with_without_wanify", |b| b.iter(|| fig7::run(Effort::Quick, black_box(42))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench for Fig. 9 (AIMD dynamics tracking).
+//!
+//! Prints the regenerated artifact once (quick effort), then measures the
+//! end-to-end runner. `repro -- fig9` produces the full-effort version.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wanify_experiments::fig9;
+use wanify_experiments::Effort;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig9::run(Effort::Quick, 42).render());
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("sd_traces", |b| b.iter(|| fig9::run(Effort::Quick, black_box(42))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench for the prediction-model quality study.
+//!
+//! Prints the regenerated artifact once (quick effort), then measures the
+//! end-to-end runner. `repro -- model` produces the full-effort version.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wanify_experiments::model;
+use wanify_experiments::Effort;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", model::run(Effort::Quick, 42).render());
+    let mut group = c.benchmark_group("model");
+    group.sample_size(10);
+    group.bench_function("forest_vs_baselines", |b| b.iter(|| model::run(Effort::Quick, black_box(42))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench for Table 1 (static vs runtime bandwidth gaps).
+//!
+//! Prints the regenerated artifact once (full fidelity), then measures the
+//! end-to-end runner. `repro -- table1` produces the full-effort version.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wanify_experiments::table1;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", table1::run(42).render());
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("probe_8dc", |b| b.iter(|| table1::run(black_box(42))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench for Table 2 (monitoring cost savings).
+//!
+//! Prints the regenerated artifact once (full fidelity), then measures the
+//! end-to-end runner. `repro -- table2` produces the full-effort version.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wanify_experiments::table2;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", table2::run().render());
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("cost_model", |b| b.iter(table2::run));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench for Table 4 (gains from runtime bandwidth).
+//!
+//! Prints the regenerated artifact once (quick effort), then measures the
+//! end-to-end runner. `repro -- table4` produces the full-effort version.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wanify_experiments::table4;
+use wanify_experiments::Effort;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", table4::run(Effort::Quick, 42).render());
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    group.bench_function("tpcds_beliefs", |b| b.iter(|| table4::run(Effort::Quick, black_box(42))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

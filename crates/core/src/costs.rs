@@ -1,0 +1,161 @@
+//! Bandwidth-monitoring cost model (paper §2.2, Eq. 1 and Table 2).
+//!
+//! Measuring runtime bandwidth across all DC pairs is expensive: each
+//! monitoring event costs `N · (x·y + z)` where `x` is per-instance-second
+//! compute, `y` the monitoring duration and `z` the per-instance network
+//! cost of the probe traffic, repeated `O` times a year (Eq. 1). WANify
+//! replaces 20-second runs with 1-second snapshots plus a prediction
+//! model, cutting the annual bill by roughly an order of magnitude
+//! (Table 2 reports ~96% savings).
+
+use wanify_netsim::VmType;
+
+/// Parameters of the monitoring cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitoringCostParams {
+    /// `O` — monitoring occurrences per year. The paper follows Tetrium's
+    /// cadence of every 30 minutes ⇒ 17,520 events.
+    pub occurrences_per_year: f64,
+    /// Probe VM flavor (paper: unlimited-burst t3.nano).
+    pub probe_vm: VmType,
+    /// `y` — stable runtime monitoring duration in seconds (≥ 20 s).
+    pub runtime_duration_s: f64,
+    /// Snapshot duration in seconds (1 s).
+    pub snapshot_duration_s: f64,
+    /// Average probe bandwidth per instance in Mbps (paper: 200).
+    pub avg_bw_mbps: f64,
+    /// Inter-region transfer price in USD/GB.
+    pub network_price_per_gb: f64,
+    /// Training dataset size in samples (paper: 1000).
+    pub training_samples: usize,
+}
+
+impl Default for MonitoringCostParams {
+    fn default() -> Self {
+        Self {
+            occurrences_per_year: 17_520.0,
+            probe_vm: VmType::t3_nano(),
+            runtime_duration_s: 20.0,
+            snapshot_duration_s: 1.0,
+            avg_bw_mbps: 200.0,
+            network_price_per_gb: 0.02,
+            training_samples: 1000,
+        }
+    }
+}
+
+impl MonitoringCostParams {
+    /// `x` — per-instance-second compute cost in USD.
+    pub fn instance_cost_per_s(&self) -> f64 {
+        self.probe_vm.effective_price_per_hour() / 3600.0
+    }
+
+    /// `z(y)` — per-instance network cost of probing for `y` seconds.
+    pub fn network_cost(&self, duration_s: f64) -> f64 {
+        let gb = self.avg_bw_mbps * duration_s / 8.0 / 1024.0;
+        gb * self.network_price_per_gb
+    }
+
+    /// Eq. 1: annual cost of full runtime monitoring for `n` DCs.
+    pub fn annual_runtime_monitoring(&self, n: usize) -> f64 {
+        let per_event = self.instance_cost_per_s() * self.runtime_duration_s
+            + self.network_cost(self.runtime_duration_s);
+        self.occurrences_per_year * n as f64 * per_event
+    }
+
+    /// One-time training cost for `n` DCs: every sample needs a snapshot
+    /// *and* a stable runtime measurement.
+    pub fn training_cost(&self, n: usize) -> f64 {
+        let per_sample = self.instance_cost_per_s()
+            * (self.runtime_duration_s + self.snapshot_duration_s)
+            + self.network_cost(self.runtime_duration_s)
+            + self.network_cost(self.snapshot_duration_s);
+        self.training_samples as f64 * n as f64 * per_sample
+    }
+
+    /// Annual cost of snapshot-based prediction for `n` DCs.
+    pub fn annual_prediction(&self, n: usize) -> f64 {
+        let per_event = self.instance_cost_per_s() * self.snapshot_duration_s
+            + self.network_cost(self.snapshot_duration_s);
+        self.occurrences_per_year * n as f64 * per_event
+    }
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Cluster size.
+    pub n_dcs: usize,
+    /// Annual runtime-monitoring cost, USD.
+    pub runtime_monitoring_usd: f64,
+    /// One-time model training cost, USD.
+    pub training_usd: f64,
+    /// Annual prediction (snapshot) cost, USD.
+    pub predictions_usd: f64,
+}
+
+/// Regenerates Table 2 for the paper's cluster sizes {4, 6, 8}.
+pub fn table2(params: &MonitoringCostParams) -> Vec<Table2Row> {
+    [4usize, 6, 8]
+        .iter()
+        .map(|&n| Table2Row {
+            n_dcs: n,
+            runtime_monitoring_usd: params.annual_runtime_monitoring(n),
+            training_usd: params.training_cost(n),
+            predictions_usd: params.annual_prediction(n),
+        })
+        .collect()
+}
+
+/// Overall savings fraction of prediction vs runtime monitoring across the
+/// Table 2 cluster sizes (paper: ~96%).
+pub fn table2_savings_pct(params: &MonitoringCostParams) -> f64 {
+    let rows = table2(params);
+    let monitoring: f64 = rows.iter().map(|r| r.runtime_monitoring_usd).sum();
+    let prediction: f64 =
+        rows.iter().map(|r| r.training_usd + r.predictions_usd).sum();
+    100.0 * (1.0 - prediction / monitoring)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_monitoring_matches_paper_magnitude() {
+        // Paper Table 2: $703 / $1055 / $1406 for N = 4 / 6 / 8.
+        let p = MonitoringCostParams::default();
+        let c4 = p.annual_runtime_monitoring(4);
+        assert!((600.0..850.0).contains(&c4), "N=4 annual ≈ $703, got {c4:.0}");
+        let c8 = p.annual_runtime_monitoring(8);
+        assert!((c8 / c4 - 2.0).abs() < 1e-9, "cost is linear in N");
+    }
+
+    #[test]
+    fn savings_are_large() {
+        let pct = table2_savings_pct(&MonitoringCostParams::default());
+        assert!(pct > 85.0, "paper reports ~96% savings, got {pct:.1}%");
+    }
+
+    #[test]
+    fn prediction_is_much_cheaper_per_year() {
+        let p = MonitoringCostParams::default();
+        for n in [4, 6, 8] {
+            assert!(p.annual_prediction(n) < p.annual_runtime_monitoring(n) / 10.0);
+        }
+    }
+
+    #[test]
+    fn table_has_three_rows_in_order() {
+        let rows = table2(&MonitoringCostParams::default());
+        let ns: Vec<usize> = rows.iter().map(|r| r.n_dcs).collect();
+        assert_eq!(ns, vec![4, 6, 8]);
+        assert!(rows[0].runtime_monitoring_usd < rows[2].runtime_monitoring_usd);
+    }
+
+    #[test]
+    fn network_cost_scales_with_duration() {
+        let p = MonitoringCostParams::default();
+        assert!((p.network_cost(20.0) / p.network_cost(1.0) - 20.0).abs() < 1e-9);
+    }
+}

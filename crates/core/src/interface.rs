@@ -1,0 +1,215 @@
+//! The WANify Interface: one facade over the whole pipeline (Fig. 3).
+//!
+//! GDA systems interact with WANify through two artifacts, both N×N
+//! matrices (§2.3): the predicted runtime bandwidth matrix (consumed as a
+//! drop-in replacement for statically measured bandwidth) and the
+//! optimized heterogeneous connection matrix (consumed by the transfer
+//! layer). [`Wanify::plan`] produces both, and [`Wanify::agent`] spawns the
+//! local agents that keep them fresh at runtime.
+
+use crate::agent::WanifyAgent;
+use crate::error::WanifyError;
+use crate::global::{optimize_global, GlobalPlan};
+use crate::relations::{infer_dc_relations, DcRelations};
+use crate::throttle::throttle_caps_masked;
+use wanify_netsim::{BwMatrix, ConnMatrix, Grid};
+
+/// Configuration of the WANify pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WanifyConfig {
+    /// `M` — per-host parallel-connection budget (paper example: 8).
+    pub max_conns_per_pair: u32,
+    /// `D` — minimum bandwidth difference for Algorithm 1's level merge.
+    pub relation_min_diff_mbps: f64,
+    /// Enable traffic-control throttling of BW-rich links (WANify-TC).
+    pub throttling: bool,
+    /// AIMD update interval for local agents, seconds.
+    pub aimd_interval_s: f64,
+    /// Optional per-DC skew weights `ws` (from the storage layer, §3.3.1).
+    pub skew_weights: Option<Vec<f64>>,
+    /// Optional provider refactoring vector `rvec` (§3.3.3).
+    pub rvec: Option<Vec<f64>>,
+}
+
+impl Default for WanifyConfig {
+    fn default() -> Self {
+        Self {
+            max_conns_per_pair: 8,
+            relation_min_diff_mbps: 30.0,
+            throttling: true,
+            aimd_interval_s: crate::agent::DEFAULT_AIMD_INTERVAL_S,
+            skew_weights: None,
+            rvec: None,
+        }
+    }
+}
+
+/// The two matrices (plus internals) WANify hands to a GDA system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WanifyPlan {
+    /// Closeness indices from Algorithm 1.
+    pub relations: DcRelations,
+    /// Connection windows and achievable bandwidths from Eq. 2-3.
+    pub global: GlobalPlan,
+    /// Initial traffic-control caps (infinite when throttling is off).
+    pub initial_throttles: Grid<f64>,
+    /// Initial connection matrix: AIMD starts from the window maximum.
+    pub max_cons: ConnMatrix,
+}
+
+impl WanifyPlan {
+    /// The connection matrix a GDA system should open initially.
+    pub fn initial_conns(&self) -> &ConnMatrix {
+        &self.max_cons
+    }
+
+    /// Achievable bandwidth matrix at the initial configuration, which a
+    /// GDA system can feed to its scheduler instead of static bandwidth.
+    pub fn achievable_bw(&self) -> &BwMatrix {
+        &self.global.max_bw
+    }
+
+    /// Achievable bandwidth with every row scaled down to the source
+    /// host's estimated egress capacity (`min(1, host / row sum)`).
+    ///
+    /// The linear model of Eq. 3 can promise more than a VM's NIC can
+    /// push; consumers sizing work to the matrix — schedulers, or SAGQ-style
+    /// quantization picking gradient precision — should use this feasible
+    /// variant, mirroring how the local optimizers scale their targets.
+    pub fn feasible_achievable_bw(&self) -> BwMatrix {
+        let n = self.global.max_bw.len();
+        BwMatrix::from_fn(n, |i, j| {
+            let row_sum: f64 =
+                (0..n).filter(|&k| k != i).map(|k| self.global.max_bw.get(i, k)).sum();
+            let host = self.global.host_egress_mbps[i];
+            let feas = if row_sum > 0.0 { (host / row_sum).min(1.0) } else { 1.0 };
+            self.global.max_bw.get(i, j) * feas
+        })
+    }
+}
+
+/// The WANify framework facade.
+#[derive(Debug, Clone, Default)]
+pub struct Wanify {
+    config: WanifyConfig,
+}
+
+impl Wanify {
+    /// Creates the framework with the given configuration.
+    pub fn new(config: WanifyConfig) -> Self {
+        Self { config }
+    }
+
+    /// Read access to the configuration.
+    pub fn config(&self) -> &WanifyConfig {
+        &self.config
+    }
+
+    /// Runs Algorithm 1 + global optimization on a predicted runtime
+    /// bandwidth matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if configured skew/rvec vectors mismatch the matrix size —
+    /// use [`Wanify::try_plan`] for a fallible variant.
+    pub fn plan(&self, predicted_bw: &BwMatrix) -> WanifyPlan {
+        self.try_plan(predicted_bw).expect("configuration consistent with matrix size")
+    }
+
+    /// Fallible version of [`Wanify::plan`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WanifyError`] on dimension mismatches or invalid config.
+    pub fn try_plan(&self, predicted_bw: &BwMatrix) -> Result<WanifyPlan, WanifyError> {
+        let relations =
+            infer_dc_relations(predicted_bw, self.config.relation_min_diff_mbps)?;
+        let global = optimize_global(
+            predicted_bw,
+            &relations,
+            self.config.max_conns_per_pair,
+            self.config.skew_weights.as_deref(),
+            self.config.rvec.as_deref(),
+        )?;
+        let initial_throttles = if self.config.throttling {
+            throttle_caps_masked(&global.max_bw, &global.host_egress_mbps, &relations)
+        } else {
+            Grid::filled(predicted_bw.len(), f64::INFINITY)
+        };
+        let max_cons = global.max_cons.clone();
+        Ok(WanifyPlan { relations, global, initial_throttles, max_cons })
+    }
+
+    /// Spawns the local-agent fleet for a plan.
+    pub fn agent(&self, plan: &WanifyPlan) -> WanifyAgent {
+        WanifyAgent::with_options(
+            &plan.global,
+            self.config.aimd_interval_s,
+            self.config.throttling,
+        )
+        .with_relations(plan.relations.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bw3() -> BwMatrix {
+        BwMatrix::from_rows(
+            3,
+            vec![0.0, 400.0, 120.0, 380.0, 0.0, 130.0, 110.0, 120.0, 0.0],
+        )
+    }
+
+    #[test]
+    fn plan_produces_heterogeneous_connections() {
+        let plan = Wanify::new(WanifyConfig::default()).plan(&bw3());
+        let weak = plan.max_cons.get(0, 2); // 120 Mbps link
+        let strong = plan.max_cons.get(0, 1); // 400 Mbps link
+        assert!(weak > strong, "distant pair gets more connections: {weak} vs {strong}");
+    }
+
+    #[test]
+    fn throttling_toggle_controls_initial_caps() {
+        let on = Wanify::new(WanifyConfig::default()).plan(&bw3());
+        assert!(on.initial_throttles.iter_pairs().any(|(_, _, c)| c.is_finite()));
+        let off = Wanify::new(WanifyConfig { throttling: false, ..WanifyConfig::default() })
+            .plan(&bw3());
+        assert!(off.initial_throttles.iter_pairs().all(|(_, _, c)| c.is_infinite()));
+    }
+
+    #[test]
+    fn achievable_bw_scales_with_connections() {
+        let plan = Wanify::new(WanifyConfig::default()).plan(&bw3());
+        let c = plan.max_cons.get(0, 2);
+        assert!((plan.achievable_bw().get(0, 2) - 120.0 * f64::from(c)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_plan_rejects_mismatched_skew() {
+        let w = Wanify::new(WanifyConfig {
+            skew_weights: Some(vec![0.5, 0.5]),
+            ..WanifyConfig::default()
+        });
+        assert!(matches!(
+            w.try_plan(&bw3()),
+            Err(WanifyError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn agent_respects_config_interval() {
+        let config = WanifyConfig { aimd_interval_s: 2.5, ..WanifyConfig::default() };
+        let wanify = Wanify::new(config);
+        let plan = wanify.plan(&bw3());
+        let agent = wanify.agent(&plan);
+        assert_eq!(agent.updates(), 0);
+    }
+
+    #[test]
+    fn initial_conns_equal_window_maximum() {
+        let plan = Wanify::new(WanifyConfig::default()).plan(&bw3());
+        assert_eq!(plan.initial_conns(), &plan.global.max_cons);
+    }
+}

@@ -1,0 +1,146 @@
+//! Bandwidth throttling of BW-rich links (traffic control).
+//!
+//! Nearby DCs would otherwise consume the bulk of each host's network
+//! capacity. WANify's local agents compute, per source DC, the mean of the
+//! achievable bandwidths from that region as a threshold `T`, and use
+//! traffic control (tc) to cap every destination whose achievable
+//! bandwidth exceeds `T` down to `T` (paper §3.2.2 "Throttling BW"; the
+//! WANify-TC variant of Fig. 5).
+
+use crate::local::SIGNIFICANT_DELTA_MBPS;
+use wanify_netsim::{BwMatrix, Grid};
+
+/// Computes per-pair throttle caps from achievable bandwidths.
+///
+/// Returns a grid where cell `(i, j)` is the cap in Mbps for the directed
+/// pair, or `f64::INFINITY` when the pair is not throttled.
+///
+/// Equivalent to [`throttle_caps_clamped`] with unbounded host capacity.
+pub fn throttle_caps(achievable_bw: &BwMatrix) -> Grid<f64> {
+    let hosts = vec![f64::INFINITY; achievable_bw.len()];
+    throttle_caps_clamped(achievable_bw, &hosts)
+}
+
+/// Computes throttle caps with achievable values rescaled to each source
+/// host's estimated egress capacity.
+///
+/// The linear achievable model (`BW × connections`, Eq. 3) can exceed what
+/// a VM's NIC can physically push. Each row is scaled by
+/// `min(1, host_egress / row_sum)` — preserving the row's relative shape —
+/// before computing the per-source threshold `T` (row mean) and capping
+/// entries above it. This keeps `T` realistic so that caps on BW-rich
+/// nearby links actually bind — the effect WANify-TC relies on (Fig. 5).
+///
+/// # Panics
+///
+/// Panics if `host_egress_mbps.len()` differs from the matrix size.
+pub fn throttle_caps_clamped(achievable_bw: &BwMatrix, host_egress_mbps: &[f64]) -> Grid<f64> {
+    let n = achievable_bw.len();
+    assert_eq!(host_egress_mbps.len(), n, "one egress estimate per host required");
+    let factor: Vec<f64> = (0..n)
+        .map(|i| {
+            let row_sum: f64 =
+                (0..n).filter(|&j| j != i).map(|j| achievable_bw.get(i, j)).sum();
+            if row_sum > 0.0 && host_egress_mbps[i].is_finite() {
+                (host_egress_mbps[i] / row_sum).min(1.0)
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    let scaled = BwMatrix::from_fn(n, |i, j| achievable_bw.get(i, j) * factor[i]);
+    Grid::from_fn(n, |i, j| {
+        if i == j {
+            return f64::INFINITY;
+        }
+        let threshold = scaled.row_mean_off_diag(i);
+        // Only genuinely BW-rich destinations are capped: the excess over
+        // the regional mean must itself be significant (>100 Mbps), else a
+        // uniformly weak region would throttle its least-bad link.
+        if scaled.get(i, j) > threshold + SIGNIFICANT_DELTA_MBPS {
+            threshold
+        } else {
+            f64::INFINITY
+        }
+    })
+}
+
+/// Like [`throttle_caps_clamped`], but a pair is only eligible for capping
+/// when it belongs to its source row's *closest* off-diagonal relationship
+/// class — the "nearby DCs" the paper singles out for throttling (§3.2.2).
+/// This keeps agents from capping mid-distance links when AIMD targets
+/// drift during execution.
+///
+/// # Panics
+///
+/// Panics if the relation matrix or host vector size differs from the
+/// bandwidth matrix.
+pub fn throttle_caps_masked(
+    achievable_bw: &BwMatrix,
+    host_egress_mbps: &[f64],
+    relations: &crate::relations::DcRelations,
+) -> Grid<f64> {
+    let n = achievable_bw.len();
+    assert_eq!(relations.len(), n, "relations must match the matrix size");
+    let unmasked = throttle_caps_clamped(achievable_bw, host_egress_mbps);
+    Grid::from_fn(n, |i, j| {
+        if i == j {
+            return f64::INFINITY;
+        }
+        let closest = (0..n)
+            .filter(|&k| k != i)
+            .map(|k| relations.get(i, k))
+            .min()
+            .expect("at least two DCs");
+        if relations.get(i, j) == closest {
+            unmasked.get(i, j)
+        } else {
+            f64::INFINITY
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bw() -> BwMatrix {
+        BwMatrix::from_rows(
+            3,
+            vec![0.0, 1600.0, 200.0, 1600.0, 0.0, 300.0, 200.0, 300.0, 0.0],
+        )
+    }
+
+    #[test]
+    fn rich_links_are_capped_to_the_row_mean() {
+        let caps = throttle_caps(&bw());
+        // Row 0 mean = (1600+200)/2 = 900 ⇒ the 1600 link caps at 900.
+        assert!((caps.get(0, 1) - 900.0).abs() < 1e-9);
+        assert_eq!(caps.get(0, 2), f64::INFINITY, "weak links stay free");
+    }
+
+    #[test]
+    fn diagonal_never_throttled() {
+        let caps = throttle_caps(&bw());
+        for i in 0..3 {
+            assert_eq!(caps.get(i, i), f64::INFINITY);
+        }
+    }
+
+    #[test]
+    fn uniform_rows_are_untouched() {
+        let uniform = BwMatrix::from_fn(3, |i, j| if i == j { 0.0 } else { 500.0 });
+        let caps = throttle_caps(&uniform);
+        for (_, _, c) in caps.iter_pairs() {
+            assert_eq!(c, f64::INFINITY, "nothing exceeds the mean of equals");
+        }
+    }
+
+    #[test]
+    fn thresholds_are_per_source_row() {
+        let caps = throttle_caps(&bw());
+        // Row 1 mean = (1600+300)/2 = 950.
+        assert!((caps.get(1, 0) - 950.0).abs() < 1e-9);
+        assert_eq!(caps.get(1, 2), f64::INFINITY);
+    }
+}

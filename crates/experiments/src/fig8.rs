@@ -1,0 +1,232 @@
+//! Fig. 8: validation of WANify's design (§5.5).
+//!
+//! (a) Ablation on TPC-DS query 78: Vanilla (unmodified GDA system),
+//! Global-only, Local-only (static 1..=8 window), and full WANify. The
+//! paper's ordering: WANify (≈23%) > Global-only (≈16%) > Local-only
+//! (≈11%) > Vanilla.
+//!
+//! (b) Prediction-error injection: ±100 Mbps (the significance bound) is
+//! randomly added to the predicted matrix; the paper reports ~18% higher
+//! latency, ~5% higher cost and a ~38% lower minimum bandwidth.
+
+use crate::common::{improvement_pct, render_table, run_wanified, Effort, ExpEnv, WanifyMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wanify_gda::{run_job, Kimchi, Scheduler, Tetrium, TransferOptions};
+use wanify_netsim::BwMatrix;
+use wanify_workloads::TpcDsQuery;
+
+/// One ablation arm's outcome for one scheduler.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Arm label.
+    pub arm: String,
+    /// Latency, seconds.
+    pub latency_s: f64,
+    /// Latency improvement vs Vanilla, percent.
+    pub latency_pct: f64,
+    /// Minimum bandwidth, Mbps.
+    pub min_bw_mbps: f64,
+}
+
+/// Error-injection outcome.
+#[derive(Debug, Clone)]
+pub struct ErrorInjection {
+    /// Latency increase of WANify-err vs WANify, percent.
+    pub latency_increase_pct: f64,
+    /// Cost increase, percent.
+    pub cost_increase_pct: f64,
+    /// Minimum-bandwidth decrease, percent.
+    pub min_bw_decrease_pct: f64,
+}
+
+/// Result of the Fig. 8 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig8 {
+    /// Ablation rows (4 arms × 2 schedulers).
+    pub ablation: Vec<AblationRow>,
+    /// Error-injection comparison (Tetrium, q78).
+    pub error_injection: ErrorInjection,
+}
+
+impl Fig8 {
+    /// Ablation row lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the (scheduler, arm) pair does not exist.
+    pub fn ablation_row(&self, scheduler: &str, arm: &str) -> &AblationRow {
+        self.ablation
+            .iter()
+            .find(|r| r.scheduler == scheduler && r.arm == arm)
+            .expect("arm exists")
+    }
+
+    /// Rendered summary.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .ablation
+            .iter()
+            .map(|r| {
+                vec![
+                    r.scheduler.clone(),
+                    r.arm.clone(),
+                    format!("{:.0}", r.latency_s),
+                    format!("{:+.1}%", r.latency_pct),
+                    format!("{:.0}", r.min_bw_mbps),
+                ]
+            })
+            .collect();
+        let mut s = String::from("Fig. 8(a): ablation on q78\n");
+        s.push_str(&render_table(
+            &["scheduler", "arm", "latency (s)", "vs vanilla", "min BW"],
+            &rows,
+        ));
+        s.push_str("paper: WANify ~23% > Global-only ~16% > Local-only ~11%\n\n");
+        s.push_str("Fig. 8(b): prediction-error injection (±100 Mbps)\n");
+        s.push_str(&format!(
+            "latency {:+.1}% (paper ~+18%), cost {:+.1}% (~+5%), min BW {:+.1}% (~-38%)\n",
+            self.error_injection.latency_increase_pct,
+            self.error_injection.cost_increase_pct,
+            -self.error_injection.min_bw_decrease_pct
+        ));
+        s
+    }
+}
+
+/// Randomly adds or subtracts `delta` Mbps to every off-diagonal cell
+/// (the paper's WANify-err perturbation).
+///
+/// Values are floored at 15% of the original: the paper's matrices bottom
+/// out near 121 Mbps, so its −100 Mbps shift cuts a weak link by at most
+/// ~83%; our runtime matrices reach lower absolute values and an absolute
+/// floor of ~1 Mbps would make the perturbation categorically harsher than
+/// the paper's.
+pub fn inject_error(bw: &BwMatrix, delta: f64, seed: u64) -> BwMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = bw.len();
+    BwMatrix::from_fn(n, |i, j| {
+        if i == j {
+            bw.get(i, j)
+        } else {
+            let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            let v = bw.get(i, j);
+            (v + sign * delta).max(0.15 * v).max(1.0)
+        }
+    })
+}
+
+/// Runs the ablation and error-injection studies.
+pub fn run(effort: Effort, seed: u64) -> Fig8 {
+    let env = ExpEnv::new(8, effort, seed);
+    let job = TpcDsQuery::Q78.job(env.n, 100.0 * effort.input_scale());
+    let mut ablation = Vec::new();
+
+    let schedulers: Vec<Box<dyn Scheduler>> =
+        vec![Box::new(Tetrium::new()), Box::new(Kimchi::new())];
+    for (si, scheduler) in schedulers.iter().enumerate() {
+        let run_id = si as u64;
+        // Vanilla: static-independent beliefs, single connections.
+        let mut sim = env.sim(run_id);
+        let belief = env.static_independent(&mut sim);
+        let vanilla =
+            run_job(&mut sim, &job, scheduler.as_ref(), &belief, TransferOptions::default());
+        ablation.push(AblationRow {
+            scheduler: scheduler.name().to_string(),
+            arm: "vanilla".to_string(),
+            latency_s: vanilla.latency_s,
+            latency_pct: 0.0,
+            min_bw_mbps: vanilla.min_bw_mbps,
+        });
+        for (arm, mode) in [
+            ("global-only", WanifyMode::global_only()),
+            ("local-only", WanifyMode::local_only()),
+            ("wanify", WanifyMode::full()),
+        ] {
+            let mut sim = env.sim(run_id);
+            let predicted = env.predicted(&mut sim);
+            let r =
+                run_wanified(&mut sim, &job, scheduler.as_ref(), &predicted, mode, None);
+            ablation.push(AblationRow {
+                scheduler: scheduler.name().to_string(),
+                arm: arm.to_string(),
+                latency_s: r.latency_s,
+                latency_pct: improvement_pct(vanilla.latency_s, r.latency_s),
+                min_bw_mbps: r.min_bw_mbps,
+            });
+        }
+    }
+
+    // Error injection on Tetrium.
+    let mut sim = env.sim(77);
+    let predicted = env.predicted(&mut sim);
+    let clean = run_wanified(
+        &mut sim,
+        &job,
+        &Tetrium::new(),
+        &predicted,
+        WanifyMode::full(),
+        None,
+    );
+    let mut sim = env.sim(77);
+    let predicted = env.predicted(&mut sim);
+    let erred = inject_error(&predicted, 100.0, seed ^ 0xE44);
+    let noisy =
+        run_wanified(&mut sim, &job, &Tetrium::new(), &erred, WanifyMode::full(), None);
+    let error_injection = ErrorInjection {
+        latency_increase_pct: -improvement_pct(clean.latency_s, noisy.latency_s),
+        cost_increase_pct: -improvement_pct(clean.cost.total_usd(), noisy.cost.total_usd()),
+        min_bw_decrease_pct: improvement_pct(clean.min_bw_mbps, noisy.min_bw_mbps),
+    };
+
+    Fig8 { ablation, error_injection }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_wanify_beats_partial_arms() {
+        let f = run(Effort::Quick, 61);
+        for sched in ["tetrium", "kimchi"] {
+            let full = f.ablation_row(sched, "wanify").latency_pct;
+            let global = f.ablation_row(sched, "global-only").latency_pct;
+            assert!(
+                full >= global - 3.0,
+                "{sched}: full ({full:.1}%) should be at least global-only ({global:.1}%)"
+            );
+            assert!(full > 0.0, "{sched}: full WANify must beat vanilla");
+        }
+    }
+
+    #[test]
+    fn error_injection_hurts() {
+        let f = run(Effort::Quick, 62);
+        assert!(
+            f.error_injection.latency_increase_pct > -3.0,
+            "±100 Mbps errors should not help latency: {:+.1}%",
+            f.error_injection.latency_increase_pct
+        );
+    }
+
+    #[test]
+    fn inject_error_shifts_every_cell_by_delta() {
+        let bw = BwMatrix::from_fn(3, |i, j| if i == j { 0.0 } else { 500.0 });
+        let e = inject_error(&bw, 100.0, 9);
+        for (_, _, v) in e.iter_pairs() {
+            assert!((v - 400.0).abs() < 1e-9 || (v - 600.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inject_error_floors_at_one() {
+        let bw = BwMatrix::from_fn(2, |i, j| if i == j { 0.0 } else { 50.0 });
+        let e = inject_error(&bw, 100.0, 1);
+        for (_, _, v) in e.iter_pairs() {
+            assert!(v >= 1.0);
+        }
+    }
+}

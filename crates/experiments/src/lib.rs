@@ -1,0 +1,46 @@
+//! # wanify-experiments
+//!
+//! One runner per table and figure of the WANify paper. Every module
+//! regenerates the corresponding artifact — same rows, same series — on
+//! the simulated substrate, and returns a typed result plus a rendered
+//! text table. The `repro` binary dispatches them by id:
+//!
+//! ```text
+//! cargo run --release -p wanify-experiments --bin repro -- all
+//! cargo run --release -p wanify-experiments --bin repro -- fig5
+//! ```
+//!
+//! | id | paper artifact |
+//! |----|----------------|
+//! | `table1` | static vs runtime bandwidth gaps |
+//! | `table2` | monitoring-cost savings |
+//! | `fig2`   | single/uniform/heterogeneous connection bandwidths |
+//! | `table4` | Tetrium/Kimchi gains from runtime bandwidth |
+//! | `fig4`   | ML quantization variants |
+//! | `fig5`   | parallel-transfer approaches on TeraSort |
+//! | `fig6`   | WordCount intermediate-size sweep |
+//! | `fig7`   | end-to-end TPC-DS with/without WANify |
+//! | `fig8`   | ablation + prediction-error injection |
+//! | `fig9`   | AIMD tracking of dynamics |
+//! | `fig10`  | skewed-input handling |
+//! | `fig11`  | prediction accuracy across cluster shapes |
+//! | `sec583` | heterogeneous-VM benefits |
+//! | `model`  | prediction-model training quality |
+
+pub mod common;
+pub mod fig10;
+pub mod fig11;
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod model;
+pub mod sec583;
+pub mod table1;
+pub mod table2;
+pub mod table4;
+
+pub use common::Effort;

@@ -1,0 +1,129 @@
+//! §5.8.3 "Benefits in GDA": heterogeneous compute capacities.
+//!
+//! TPC-DS query 78 on the 8-DC testbed with one extra t2.medium VM in
+//! US East. Three arms: vanilla Tetrium (static-independent beliefs),
+//! Tetrium-r (predicted beliefs, single connection) and full
+//! WANify-enabled Tetrium. The paper reports 5%/1%/1.2× for Tetrium-r and
+//! 15%/7.4%/2× for the full stack.
+
+use crate::common::{improvement_pct, run_wanified, Effort, WanifyMode};
+use wanify::{BandwidthAnalyzer, WanPredictionModel};
+use wanify_gda::{run_job, Tetrium, TransferOptions};
+use wanify_netsim::{
+    paper_testbed, ConnMatrix, DcId, LinkModelParams, NetSim, VmType,
+};
+use wanify_workloads::TpcDsQuery;
+
+/// One arm's outcome.
+#[derive(Debug, Clone)]
+pub struct Sec583Row {
+    /// Arm label.
+    pub name: String,
+    /// Latency improvement vs vanilla, percent.
+    pub latency_pct: f64,
+    /// Cost improvement vs vanilla, percent.
+    pub cost_pct: f64,
+    /// Minimum-bandwidth ratio vs vanilla.
+    pub min_bw_ratio: f64,
+}
+
+/// Result of the §5.8.3 reproduction.
+#[derive(Debug, Clone)]
+pub struct Sec583 {
+    /// Tetrium-r and WANify rows.
+    pub rows: Vec<Sec583Row>,
+}
+
+impl Sec583 {
+    /// Rendered summary.
+    pub fn render(&self) -> String {
+        let mut s =
+            String::from("Sec 5.8.3: q78 with an extra t2.medium VM in US East (vs vanilla Tetrium)\n");
+        for r in &self.rows {
+            s.push_str(&format!(
+                "{:<12} latency {:+.1}%  cost {:+.1}%  minBW {:.2}x\n",
+                r.name, r.latency_pct, r.cost_pct, r.min_bw_ratio
+            ));
+        }
+        s.push_str("paper: Tetrium-r 5%/1%/1.2x; WANify 15%/7.4%/2x\n");
+        s
+    }
+}
+
+fn hetero_sim(seed: u64) -> NetSim {
+    let topo = paper_testbed(VmType::t2_medium()).with_extra_vms(DcId(0), 1);
+    NetSim::new(topo, LinkModelParams::default(), seed)
+}
+
+/// Runs the three arms.
+pub fn run(effort: Effort, seed: u64) -> Sec583 {
+    // Train the model on the homogeneous sizes; heterogeneous fleets are
+    // covered by the host-metric features (§3.3.3).
+    let analyzer = BandwidthAnalyzer {
+        vm: VmType::t2_medium(),
+        params: LinkModelParams::default(),
+        samples_per_size: effort.samples_per_size(),
+    };
+    let data = analyzer.collect(&[6, 7, 8], seed ^ 0x583);
+    let model = WanPredictionModel::train(&data, effort.n_estimators(), seed);
+    let job = TpcDsQuery::Q78.job(8, 100.0 * effort.input_scale());
+    let sched = Tetrium::new();
+
+    let predict = |sim: &mut NetSim| {
+        let snapshot = sim.snapshot(&ConnMatrix::filled(8, 1));
+        model.predict_matrix(&snapshot, sim.topology()).expect("matching sizes")
+    };
+
+    // Vanilla baseline.
+    let mut sim = hetero_sim(seed);
+    let belief = sim.measure_static_independent();
+    let vanilla = run_job(&mut sim, &job, &sched, &belief, TransferOptions::default());
+
+    // Tetrium-r: predicted beliefs, still single connection.
+    let mut sim = hetero_sim(seed);
+    let predicted = predict(&mut sim);
+    let tetrium_r = run_job(&mut sim, &job, &sched, &predicted, TransferOptions::default());
+
+    // Full WANify.
+    let mut sim = hetero_sim(seed);
+    let predicted = predict(&mut sim);
+    let full = run_wanified(&mut sim, &job, &sched, &predicted, WanifyMode::full(), None);
+
+    let mk = |name: &str, r: &wanify_gda::QueryReport| Sec583Row {
+        name: name.to_string(),
+        latency_pct: improvement_pct(vanilla.latency_s, r.latency_s),
+        cost_pct: improvement_pct(vanilla.cost.total_usd(), r.cost.total_usd()),
+        min_bw_ratio: if vanilla.min_bw_mbps > 0.0 {
+            r.min_bw_mbps / vanilla.min_bw_mbps
+        } else {
+            1.0
+        },
+    };
+    Sec583 { rows: vec![mk("Tetrium-r", &tetrium_r), mk("WANify", &full)] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_wanify_beats_prediction_only() {
+        let s = run(Effort::Quick, 583);
+        let r = &s.rows[0];
+        let w = &s.rows[1];
+        assert!(
+            w.latency_pct >= r.latency_pct - 2.0,
+            "full WANify ({:+.1}%) should be at least Tetrium-r ({:+.1}%)",
+            w.latency_pct,
+            r.latency_pct
+        );
+        assert!(w.min_bw_ratio > 1.0, "min BW must rise with parallel connections");
+    }
+
+    #[test]
+    fn two_rows_rendered() {
+        let s = run(Effort::Quick, 584);
+        assert_eq!(s.rows.len(), 2);
+        assert!(s.render().contains("Tetrium-r"));
+    }
+}

@@ -1,0 +1,36 @@
+//! # wanify-gda
+//!
+//! A geo-distributed data analytics (GDA) engine substrate: the simulated
+//! equivalent of the paper's Spark + HDFS + Tetrium/Kimchi stack (§5.1).
+//!
+//! A [`job::JobProfile`] models a query as a sequence of stages
+//! (compute + shuffle). A [`scheduler::Scheduler`] consumes a
+//! bandwidth matrix — static-independent, static-simultaneous or WANify's
+//! predicted runtime matrix — and decides reduce-task placement and input
+//! migration. The [`executor`] then *actually* runs the resulting transfers
+//! on the [`wanify_netsim`] WAN simulator, where true runtime contention
+//! applies, so decisions made with inaccurate bandwidth estimates cost real
+//! simulated latency exactly as the paper describes (§2.2).
+//!
+//! Three schedulers are provided:
+//!
+//! * [`scheduler::VanillaSpark`] — locality-aware maps, uniform reduces;
+//! * [`scheduler::Tetrium`] — latency-optimal task + data placement
+//!   (Hung et al., EuroSys'18), reimplemented from its published heuristic;
+//! * [`scheduler::Kimchi`] — network-cost-aware placement (Oh et al.,
+//!   TPDS'21), trading latency against egress dollars.
+//!
+//! Costs follow the paper's accounting (§5.1): compute (with the unlimited
+//! burst vCPU surcharge), inter-region network egress, and storage.
+
+pub mod cost;
+pub mod executor;
+pub mod job;
+pub mod scheduler;
+pub mod storage;
+
+pub use cost::{CostBreakdown, CostModel};
+pub use executor::{run_job, QueryReport, TransferOptions};
+pub use job::{JobProfile, StageProfile};
+pub use scheduler::{Kimchi, PlacementCtx, Scheduler, Tetrium, VanillaSpark};
+pub use storage::DataLayout;

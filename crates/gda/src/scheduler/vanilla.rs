@@ -1,0 +1,67 @@
+//! Vanilla Spark: locality-aware maps, bandwidth-oblivious reduces.
+
+use super::{normalize, PlacementCtx, Scheduler};
+use wanify_netsim::DcId;
+
+/// The baseline scheduler of stock Spark in a geo-distributed deployment
+/// (the paper's "No WAN-aware" baseline, §5.3.1).
+///
+/// Map tasks run where their blocks live (data locality); reduce tasks are
+/// spread across executors in proportion to their cores, with no awareness
+/// of WAN bandwidth at all.
+#[derive(Debug, Clone, Default)]
+pub struct VanillaSpark;
+
+impl VanillaSpark {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Scheduler for VanillaSpark {
+    fn name(&self) -> &str {
+        "vanilla-spark"
+    }
+
+    fn place_reduce(&self, ctx: &PlacementCtx<'_>) -> Vec<f64> {
+        let weights: Vec<f64> =
+            (0..ctx.n()).map(|j| f64::from(ctx.topo.dc(DcId(j)).vcpus())).collect();
+        normalize(&weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::ctx_fixture;
+    use super::*;
+
+    #[test]
+    fn uniform_on_homogeneous_fleet() {
+        let (topo, bw, out) = ctx_fixture();
+        let ctx = PlacementCtx { topo: &topo, bw: &bw, out_gb: &out, compute_s_per_gb: 1.0 };
+        let r = VanillaSpark::new().place_reduce(&ctx);
+        for &x in &r {
+            assert!((x - 0.25).abs() < 1e-12, "homogeneous cluster ⇒ uniform reduces");
+        }
+    }
+
+    #[test]
+    fn proportional_to_vcpus_on_heterogeneous_fleet() {
+        let (topo, bw, out) = ctx_fixture();
+        let topo = topo.with_extra_vms(DcId(0), 1); // DC0 now has 2 VMs
+        let ctx = PlacementCtx { topo: &topo, bw: &bw, out_gb: &out, compute_s_per_gb: 1.0 };
+        let r = VanillaSpark::new().place_reduce(&ctx);
+        assert!((r[0] - 0.4).abs() < 1e-12, "DC0 has 4 of 10 vCPUs");
+    }
+
+    #[test]
+    fn ignores_bandwidth_entirely() {
+        let (topo, bw, out) = ctx_fixture();
+        let ctx1 = PlacementCtx { topo: &topo, bw: &bw, out_gb: &out, compute_s_per_gb: 1.0 };
+        let flat = wanify_netsim::BwMatrix::filled(4, 500.0);
+        let ctx2 = PlacementCtx { topo: &topo, bw: &flat, out_gb: &out, compute_s_per_gb: 1.0 };
+        let s = VanillaSpark::new();
+        assert_eq!(s.place_reduce(&ctx1), s.place_reduce(&ctx2));
+    }
+}

@@ -1,0 +1,193 @@
+//! Baseline regressors the paper compares the Random Forest against.
+//!
+//! §3.1 reports that statistical regression suffers from bandwidth
+//! outliers and that a CNN attempt plateaued around 85% accuracy for lack
+//! of training data. We provide ordinary least squares and k-nearest
+//! neighbours as the weaker comparators for the model-selection benchmark.
+
+use crate::dataset::Dataset;
+
+/// Ordinary least-squares linear regression (normal equations with ridge
+/// damping for numerical stability).
+#[derive(Debug, Clone)]
+pub struct LinearRegressor {
+    /// Intercept followed by one coefficient per feature.
+    coefficients: Vec<f64>,
+}
+
+impl LinearRegressor {
+    /// Fits by solving `(XᵀX + λI) β = Xᵀy` with a tiny ridge `λ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn fit(data: &Dataset) -> Self {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let p = data.n_features() + 1; // + intercept
+        let lambda = 1e-8;
+        // Build normal equations.
+        let mut xtx = vec![vec![0.0; p]; p];
+        let mut xty = vec![0.0; p];
+        for (row, y) in data.iter() {
+            let mut x = Vec::with_capacity(p);
+            x.push(1.0);
+            x.extend_from_slice(row);
+            for i in 0..p {
+                xty[i] += x[i] * y;
+                for j in 0..p {
+                    xtx[i][j] += x[i] * x[j];
+                }
+            }
+        }
+        for (i, row) in xtx.iter_mut().enumerate() {
+            row[i] += lambda;
+        }
+        let coefficients = solve_gaussian(xtx, xty);
+        Self { coefficients }
+    }
+
+    /// Predicts the target for one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the training data.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len() + 1, self.coefficients.len(), "feature arity mismatch");
+        self.coefficients[0]
+            + row.iter().zip(&self.coefficients[1..]).map(|(x, c)| x * c).sum::<f64>()
+    }
+
+    /// Intercept and feature coefficients.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+}
+
+/// Gaussian elimination with partial pivoting.
+fn solve_gaussian(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .expect("non-empty system");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        if diag.abs() < 1e-12 {
+            continue; // singular direction; ridge damping keeps this rare
+        }
+        for row in (col + 1)..n {
+            let factor = a[row][col] / diag;
+            let pivot_row: Vec<f64> = a[col][col..n].to_vec();
+            for (k, pv) in (col..n).zip(pivot_row) {
+                a[row][k] -= factor * pv;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut sum = b[col];
+        for k in (col + 1)..n {
+            sum -= a[col][k] * x[k];
+        }
+        x[col] = if a[col][col].abs() < 1e-12 { 0.0 } else { sum / a[col][col] };
+    }
+    x
+}
+
+/// k-nearest-neighbours regression with Euclidean distance.
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    k: usize,
+    data: Dataset,
+}
+
+impl KnnRegressor {
+    /// Stores the training data for lazy prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `k == 0`.
+    pub fn fit(data: &Dataset, k: usize) -> Self {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        assert!(k > 0, "k must be positive");
+        Self { k: k.min(data.len()), data: data.clone() }
+    }
+
+    /// Mean target of the `k` nearest training rows.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let mut dists: Vec<(f64, f64)> = self
+            .data
+            .iter()
+            .map(|(x, y)| {
+                let d: f64 = x.iter().zip(row).map(|(a, b)| (a - b).powi(2)).sum();
+                (d, y)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        dists.iter().take(self.k).map(|&(_, y)| y).sum::<f64>() / self.k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data() -> Dataset {
+        let mut d = Dataset::new(2);
+        for i in 0..50 {
+            let x0 = f64::from(i);
+            let x1 = f64::from(i % 5);
+            d.push(vec![x0, x1], 2.0 * x0 - 3.0 * x1 + 7.0).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn ols_recovers_exact_linear_relation() {
+        let m = LinearRegressor::fit(&linear_data());
+        let c = m.coefficients();
+        assert!((c[0] - 7.0).abs() < 1e-6, "intercept {}", c[0]);
+        assert!((c[1] - 2.0).abs() < 1e-6);
+        assert!((c[2] + 3.0).abs() < 1e-6);
+        assert!((m.predict(&[10.0, 2.0]) - 21.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ols_handles_constant_feature() {
+        let mut d = Dataset::new(2);
+        for i in 0..20 {
+            d.push(vec![f64::from(i), 1.0], f64::from(i)).unwrap();
+        }
+        let m = LinearRegressor::fit(&d);
+        assert!((m.predict(&[7.0, 1.0]) - 7.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn knn_interpolates_locally() {
+        let mut d = Dataset::new(1);
+        for i in 0..10 {
+            d.push(vec![f64::from(i)], f64::from(i) * 10.0).unwrap();
+        }
+        let m = KnnRegressor::fit(&d, 1);
+        assert_eq!(m.predict(&[3.2]), 30.0);
+        let m3 = KnnRegressor::fit(&d, 3);
+        assert_eq!(m3.predict(&[5.0]), 50.0); // neighbours 4,5,6 average to 50
+    }
+
+    #[test]
+    fn knn_k_larger_than_dataset_is_clamped() {
+        let mut d = Dataset::new(1);
+        d.push(vec![0.0], 2.0).unwrap();
+        d.push(vec![1.0], 4.0).unwrap();
+        let m = KnnRegressor::fit(&d, 10);
+        assert_eq!(m.predict(&[0.5]), 3.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn knn_zero_k_panics() {
+        let _ = KnnRegressor::fit(&linear_data(), 0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Random Forest regression: bagging + feature subsampling + warm start.
+
+use crate::dataset::Dataset;
+use crate::tree::{RegressionTree, TreeParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hyper-parameters of a [`RandomForest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForestParams {
+    /// Number of trees. The paper settles on 100 estimators (§5.1).
+    pub n_estimators: usize,
+    /// Per-tree CART parameters.
+    pub tree: TreeParams,
+    /// Features sampled per split; `None` = `max(1, n_features / 3)`,
+    /// the common regression default.
+    pub features_per_split: Option<usize>,
+    /// Draw bootstrap samples (with replacement) per tree.
+    pub bootstrap: bool,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        Self {
+            n_estimators: 100,
+            tree: TreeParams { max_depth: 18, min_samples_leaf: 1, ..TreeParams::default() },
+            features_per_split: None,
+            bootstrap: true,
+        }
+    }
+}
+
+/// A fitted Random Forest regressor.
+///
+/// The ensemble mean of bootstrapped CART trees; supports
+/// [`warm_start`](RandomForest::warm_start) retraining, which the paper uses
+/// when the maximum cluster size grows (§3.3.2) or prediction error drifts
+/// (§3.3.4).
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+    /// Out-of-bag row sets per tree (indices into the training data).
+    oob_rows: Vec<Vec<usize>>,
+    params: ForestParams,
+    n_features: usize,
+    next_seed: u64,
+}
+
+impl RandomForest {
+    /// Fits a forest of [`ForestParams::n_estimators`] trees on `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `n_estimators` is zero.
+    pub fn fit(data: &Dataset, params: &ForestParams, seed: u64) -> Self {
+        assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
+        assert!(params.n_estimators > 0, "a forest needs at least one tree");
+        let mut forest = Self {
+            trees: Vec::new(),
+            oob_rows: Vec::new(),
+            params: params.clone(),
+            n_features: data.n_features(),
+            next_seed: seed,
+        };
+        forest.grow(data, params.n_estimators);
+        forest
+    }
+
+    /// Adds `extra` trees trained on `data`, keeping the existing ensemble
+    /// — the paper's warm-start retraining path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data`'s width differs from the original training data.
+    pub fn warm_start(&mut self, data: &Dataset, extra: usize) {
+        assert_eq!(data.n_features(), self.n_features, "feature arity changed across warm start");
+        self.grow(data, extra);
+    }
+
+    fn grow(&mut self, data: &Dataset, count: usize) {
+        let tree_params = TreeParams {
+            features_per_split: self
+                .params
+                .features_per_split
+                .or(Some((data.n_features() / 3).max(1))),
+            ..self.params.tree.clone()
+        };
+        for _ in 0..count {
+            let mut rng = StdRng::seed_from_u64(self.next_seed);
+            self.next_seed = self.next_seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let (sample, oob) = if self.params.bootstrap {
+                let n = data.len();
+                let mut in_bag = vec![false; n];
+                let indices: Vec<usize> = (0..n)
+                    .map(|_| {
+                        let i = rng.gen_range(0..n);
+                        in_bag[i] = true;
+                        i
+                    })
+                    .collect();
+                let oob: Vec<usize> = (0..n).filter(|&i| !in_bag[i]).collect();
+                (data.select(&indices), oob)
+            } else {
+                (data.clone(), Vec::new())
+            };
+            self.trees.push(RegressionTree::fit(&sample, &tree_params, &mut rng));
+            self.oob_rows.push(oob);
+        }
+    }
+
+    /// Ensemble-mean prediction for one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the training feature count.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let sum: f64 = self.trees.iter().map(|t| t.predict(row)).sum();
+        sum / self.trees.len() as f64
+    }
+
+    /// Predictions for a batch of rows.
+    pub fn predict_batch<'a>(&self, rows: impl IntoIterator<Item = &'a [f64]>) -> Vec<f64> {
+        rows.into_iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Number of trees currently in the ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Out-of-bag mean absolute error against `data` (the training set the
+    /// forest was fitted on). Returns `None` when bootstrap was disabled or
+    /// no row was ever out-of-bag.
+    pub fn oob_mae(&self, data: &Dataset) -> Option<f64> {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for i in 0..data.len() {
+            let mut sum = 0.0;
+            let mut trees = 0usize;
+            for (t, oob) in self.trees.iter().zip(&self.oob_rows) {
+                if oob.binary_search(&i).is_ok() {
+                    sum += t.predict(data.row(i));
+                    trees += 1;
+                }
+            }
+            if trees > 0 {
+                total += (sum / trees as f64 - data.target(i)).abs();
+                count += 1;
+            }
+        }
+        (count > 0).then(|| total / count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    fn friedman_like(n: usize, seed: u64) -> Dataset {
+        // A smooth nonlinear target over 4 features.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new(4);
+        for _ in 0..n {
+            let x: Vec<f64> = (0..4).map(|_| rng.gen::<f64>()).collect();
+            let y = 10.0 * (std::f64::consts::PI * x[0] * x[1]).sin()
+                + 20.0 * (x[2] - 0.5).powi(2)
+                + 10.0 * x[3];
+            d.push(x, y).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn forest_beats_single_tree_on_noise() {
+        let train = friedman_like(400, 1);
+        let test = friedman_like(100, 2);
+        let params = ForestParams { n_estimators: 40, ..ForestParams::default() };
+        let forest = RandomForest::fit(&train, &params, 3);
+        let single = RandomForest::fit(
+            &train,
+            &ForestParams { n_estimators: 1, bootstrap: false, ..params },
+            3,
+        );
+        let err = |m: &RandomForest| {
+            let preds: Vec<f64> = test.iter().map(|(x, _)| m.predict(x)).collect();
+            metrics::mse(&preds, test.targets())
+        };
+        assert!(err(&forest) < err(&single), "ensemble should generalize better");
+    }
+
+    #[test]
+    fn high_r2_on_smooth_function() {
+        let train = friedman_like(600, 4);
+        let test = friedman_like(150, 5);
+        let forest = RandomForest::fit(&train, &ForestParams::default(), 6);
+        let preds: Vec<f64> = test.iter().map(|(x, _)| forest.predict(x)).collect();
+        let r2 = metrics::r2(&preds, test.targets());
+        assert!(r2 > 0.85, "R² = {r2}");
+    }
+
+    #[test]
+    fn warm_start_extends_ensemble() {
+        let train = friedman_like(200, 7);
+        let mut forest = RandomForest::fit(
+            &train,
+            &ForestParams { n_estimators: 10, ..ForestParams::default() },
+            8,
+        );
+        assert_eq!(forest.n_trees(), 10);
+        forest.warm_start(&train, 15);
+        assert_eq!(forest.n_trees(), 25);
+    }
+
+    #[test]
+    fn warm_start_on_new_data_improves_new_regime() {
+        // Regime A: y = x; regime B (new cluster sizes): y = x + 50.
+        let mut a = Dataset::new(2);
+        let mut b = Dataset::new(2);
+        for i in 0..150 {
+            let x = f64::from(i) / 10.0;
+            a.push(vec![x, 0.0], x).unwrap();
+            b.push(vec![x, 1.0], x + 50.0).unwrap();
+        }
+        let mut forest = RandomForest::fit(
+            &a,
+            &ForestParams { n_estimators: 30, ..ForestParams::default() },
+            9,
+        );
+        let before = (forest.predict(&[5.0, 1.0]) - 55.0).abs();
+        let mut merged = a.clone();
+        merged.extend_from(&b).unwrap();
+        forest.warm_start(&merged, 60);
+        let after = (forest.predict(&[5.0, 1.0]) - 55.0).abs();
+        assert!(after < before, "warm start should adapt: {after} vs {before}");
+    }
+
+    #[test]
+    fn oob_error_available_with_bootstrap() {
+        let train = friedman_like(300, 10);
+        let forest = RandomForest::fit(
+            &train,
+            &ForestParams { n_estimators: 25, ..ForestParams::default() },
+            11,
+        );
+        let mae = forest.oob_mae(&train).expect("bootstrap forests have OOB rows");
+        assert!(mae > 0.0 && mae < 5.0, "OOB MAE = {mae}");
+    }
+
+    #[test]
+    fn oob_error_absent_without_bootstrap() {
+        let train = friedman_like(50, 12);
+        let forest = RandomForest::fit(
+            &train,
+            &ForestParams { n_estimators: 3, bootstrap: false, ..ForestParams::default() },
+            13,
+        );
+        assert!(forest.oob_mae(&train).is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let train = friedman_like(100, 14);
+        let p = ForestParams { n_estimators: 5, ..ForestParams::default() };
+        let a = RandomForest::fit(&train, &p, 99);
+        let b = RandomForest::fit(&train, &p, 99);
+        assert_eq!(a.predict(&[0.3, 0.4, 0.5, 0.6]), b.predict(&[0.3, 0.4, 0.5, 0.6]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_estimators_panics() {
+        let train = friedman_like(10, 15);
+        let _ = RandomForest::fit(
+            &train,
+            &ForestParams { n_estimators: 0, ..ForestParams::default() },
+            0,
+        );
+    }
+}

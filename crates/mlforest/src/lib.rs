@@ -1,0 +1,45 @@
+//! # wanify-forest
+//!
+//! A from-scratch CART / Random-Forest **regressor**, the machine-learning
+//! substrate of WANify's runtime-bandwidth prediction model (paper §3.1).
+//!
+//! The paper selects a decision-tree-based Random Forest because it handles
+//! multivariate regression with outliers, needs far less training data than
+//! deep learning, and is cheap to (re)train — including *warm starts* when
+//! the cluster grows (§3.3.2) or the model goes stale (§3.3.4). This crate
+//! implements exactly those capabilities:
+//!
+//! * [`RegressionTree`] — CART with variance-reduction splits;
+//! * [`RandomForest`] — bootstrap aggregation with per-split feature
+//!   subsampling, out-of-bag error estimation and [`RandomForest::warm_start`];
+//! * [`Dataset`] — a simple row-major feature matrix;
+//! * [`metrics`] — MSE/MAE/R² plus the paper's percentage "training
+//!   accuracy" (100 − MAPE).
+//!
+//! ## Example
+//!
+//! ```
+//! use wanify_forest::{Dataset, ForestParams, RandomForest};
+//!
+//! // y = 3·x0 + 1; the forest should recover it closely.
+//! let mut data = Dataset::new(1);
+//! for i in 0..200 {
+//!     let x = f64::from(i) / 10.0;
+//!     data.push(vec![x], 3.0 * x + 1.0)?;
+//! }
+//! let forest = RandomForest::fit(&data, &ForestParams::default(), 42);
+//! let pred = forest.predict(&[5.05]);
+//! assert!((pred - 16.15).abs() < 1.0);
+//! # Ok::<(), wanify_forest::DatasetError>(())
+//! ```
+
+pub mod baseline;
+pub mod dataset;
+pub mod forest;
+pub mod metrics;
+pub mod tree;
+
+pub use baseline::{KnnRegressor, LinearRegressor};
+pub use dataset::{Dataset, DatasetError};
+pub use forest::{ForestParams, RandomForest};
+pub use tree::{RegressionTree, TreeParams};

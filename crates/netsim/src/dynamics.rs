@@ -1,0 +1,147 @@
+//! Temporal WAN bandwidth dynamics.
+//!
+//! WAN bandwidth fluctuates on the scale of minutes (paper §2.2 citing the
+//! IMC'21 WAN traffic study); WANify's local agents exist to track the
+//! drift. Each directed region pair carries an independent
+//! Ornstein-Uhlenbeck multiplier, mean-reverting to 1.0, that scales both
+//! the per-connection ceiling and the backbone path capacity.
+
+use crate::grid::Grid;
+use crate::stats::{clamp, sample_standard_normal};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Lower clamp of the dynamics multiplier.
+const MULT_MIN: f64 = 0.45;
+/// Upper clamp of the dynamics multiplier.
+const MULT_MAX: f64 = 1.55;
+
+/// Per-directed-pair Ornstein-Uhlenbeck bandwidth multipliers.
+#[derive(Debug, Clone)]
+pub struct Dynamics {
+    multipliers: Grid<f64>,
+    sigma: f64,
+    theta: f64,
+}
+
+impl Dynamics {
+    /// Creates dynamics for `n` data centers with OU parameters
+    /// `sigma` (volatility) and `theta` (mean reversion per second).
+    pub fn new(n: usize, sigma: f64, theta: f64) -> Self {
+        Self { multipliers: Grid::filled(n, 1.0), sigma, theta }
+    }
+
+    /// Current multiplier for the directed pair `(i, j)`.
+    pub fn multiplier(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            1.0
+        } else {
+            self.multipliers.get(i, j)
+        }
+    }
+
+    /// Advances all pairs by `dt_s` seconds of OU evolution.
+    pub fn advance(&mut self, dt_s: f64, rng: &mut StdRng) {
+        if self.sigma == 0.0 {
+            return;
+        }
+        let n = self.multipliers.len();
+        let sqrt_dt = dt_s.sqrt();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let m = self.multipliers.get(i, j);
+                let dm = self.theta * (1.0 - m) * dt_s
+                    + self.sigma * sqrt_dt * sample_standard_normal(rng);
+                self.multipliers.set(i, j, clamp(m + dm, MULT_MIN, MULT_MAX));
+            }
+        }
+    }
+
+    /// Re-randomizes every pair around the mean, emulating a probe taken at
+    /// a different time of day (the paper collects training data "at
+    /// different times over a week", §5.1).
+    pub fn shuffle_epoch(&mut self, rng: &mut StdRng) {
+        if self.sigma == 0.0 {
+            return;
+        }
+        let n = self.multipliers.len();
+        // Stationary OU std-dev is sigma / sqrt(2 theta).
+        let stationary_sd = self.sigma / (2.0 * self.theta).sqrt();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let m = 1.0 + stationary_sd * sample_standard_normal(rng);
+                self.multipliers.set(i, j, clamp(m, MULT_MIN, MULT_MAX));
+            }
+        }
+        let _ = rng.gen::<u64>();
+    }
+
+    /// Snapshot of the multiplier grid.
+    pub fn multipliers(&self) -> &Grid<f64> {
+        &self.multipliers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn frozen_dynamics_stay_at_one() {
+        let mut d = Dynamics::new(4, 0.0, 0.25);
+        let mut rng = StdRng::seed_from_u64(1);
+        d.advance(100.0, &mut rng);
+        for (_, _, m) in d.multipliers().iter_pairs() {
+            assert_eq!(m, 1.0);
+        }
+    }
+
+    #[test]
+    fn diagonal_is_always_one() {
+        let mut d = Dynamics::new(3, 0.1, 0.25);
+        let mut rng = StdRng::seed_from_u64(2);
+        d.advance(5.0, &mut rng);
+        assert_eq!(d.multiplier(1, 1), 1.0);
+    }
+
+    #[test]
+    fn multipliers_stay_clamped() {
+        let mut d = Dynamics::new(3, 0.5, 0.05);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            d.advance(1.0, &mut rng);
+        }
+        for (_, _, m) in d.multipliers().iter_pairs() {
+            assert!((MULT_MIN..=MULT_MAX).contains(&m), "multiplier {m} escaped clamp");
+        }
+    }
+
+    #[test]
+    fn mean_reversion_pulls_toward_one() {
+        let mut d = Dynamics::new(2, 0.05, 0.5);
+        let mut rng = StdRng::seed_from_u64(4);
+        d.multipliers.set(0, 1, MULT_MIN);
+        let mut sum = 0.0;
+        for _ in 0..200 {
+            d.advance(1.0, &mut rng);
+            sum += d.multiplier(0, 1);
+        }
+        assert!(sum / 200.0 > 0.8, "long-run mean {} should revert toward 1", sum / 200.0);
+    }
+
+    #[test]
+    fn shuffle_epoch_changes_values() {
+        let mut d = Dynamics::new(3, 0.1, 0.25);
+        let mut rng = StdRng::seed_from_u64(5);
+        let before = d.multipliers().clone();
+        d.shuffle_epoch(&mut rng);
+        assert_ne!(&before, d.multipliers());
+    }
+}

@@ -1,0 +1,299 @@
+//! Weighted max-min fair bandwidth allocation (progressive filling).
+//!
+//! Runtime contention is the core of the paper's motivation (§2.2): when
+//! all DC pairs transfer simultaneously, each flow's throughput is decided
+//! by how the shared resources — VM egress NICs, VM ingress NICs and
+//! backbone paths — are divided. The simulator divides them with classic
+//! progressive filling, weighted by each flow's TCP bias
+//! (`connections / RTT^alpha`), subject to per-flow window ceilings.
+
+/// Identifies a capacity-constrained resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// Aggregate WAN egress NIC of a data center.
+    Egress(usize),
+    /// Aggregate WAN ingress NIC of a data center.
+    Ingress(usize),
+    /// Backbone path for a directed region pair.
+    Path(usize, usize),
+}
+
+/// One capacity constraint and the flows it applies to.
+#[derive(Debug, Clone)]
+struct Resource {
+    #[allow(dead_code)] // diagnostic only: surfaces in Debug output and test failure messages
+    kind: ResourceKind,
+    capacity_mbps: f64,
+    members: Vec<usize>,
+}
+
+/// A weighted max-min allocation problem.
+///
+/// Flows are referenced by their index in insertion order. Each flow has a
+/// contention `weight` and a throughput `ceiling` (its window limit); each
+/// resource caps the sum of its member flows' rates.
+#[derive(Debug, Clone, Default)]
+pub struct FairnessProblem {
+    weights: Vec<f64>,
+    ceilings: Vec<f64>,
+    resources: Vec<Resource>,
+}
+
+impl FairnessProblem {
+    /// Creates an empty problem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a flow and returns its index.
+    ///
+    /// A non-positive `weight` or `ceiling` yields a flow that is allocated
+    /// zero bandwidth.
+    pub fn add_flow(&mut self, weight: f64, ceiling_mbps: f64) -> usize {
+        self.weights.push(weight.max(0.0));
+        self.ceilings.push(ceiling_mbps.max(0.0));
+        self.weights.len() - 1
+    }
+
+    /// Adds a resource constraining the given member flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any member index does not refer to an added flow.
+    pub fn add_resource(&mut self, kind: ResourceKind, capacity_mbps: f64, members: Vec<usize>) {
+        for &m in &members {
+            assert!(m < self.weights.len(), "resource member {m} refers to an unknown flow");
+        }
+        self.resources.push(Resource { kind, capacity_mbps: capacity_mbps.max(0.0), members });
+    }
+
+    /// Number of flows.
+    pub fn flow_count(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+/// Solves the problem by progressive filling; returns per-flow rates in Mbps.
+///
+/// Properties (checked by tests below):
+/// * no resource is oversubscribed;
+/// * no flow exceeds its ceiling;
+/// * the allocation is max-min fair w.r.t. the weights: a flow is only
+///   below its proportional share if a ceiling or a saturated resource
+///   binds it.
+pub fn allocate_max_min(problem: &FairnessProblem) -> Vec<f64> {
+    const EPS: f64 = 1e-9;
+    let n = problem.flow_count();
+    let mut rates = vec![0.0_f64; n];
+    let mut active: Vec<bool> =
+        (0..n).map(|f| problem.weights[f] > EPS && problem.ceilings[f] > EPS).collect();
+
+    // Each iteration saturates at least one flow or resource, so the loop
+    // runs at most flows + resources times.
+    for _ in 0..(n + problem.resources.len() + 1) {
+        if !active.iter().any(|&a| a) {
+            break;
+        }
+        // Smallest normalized headroom across ceilings and resources.
+        let mut t_star = f64::INFINITY;
+        for f in 0..n {
+            if active[f] {
+                t_star = t_star.min((problem.ceilings[f] - rates[f]) / problem.weights[f]);
+            }
+        }
+        for r in &problem.resources {
+            let used: f64 = r.members.iter().map(|&m| rates[m]).sum();
+            let w: f64 = r.members.iter().filter(|&&m| active[m]).map(|&m| problem.weights[m]).sum();
+            if w > EPS {
+                t_star = t_star.min((r.capacity_mbps - used).max(0.0) / w);
+            }
+        }
+        if !t_star.is_finite() {
+            break;
+        }
+        for f in 0..n {
+            if active[f] {
+                rates[f] += problem.weights[f] * t_star;
+            }
+        }
+        // Freeze flows at their ceiling and members of saturated resources.
+        for f in 0..n {
+            if active[f] && rates[f] + EPS >= problem.ceilings[f] {
+                rates[f] = problem.ceilings[f];
+                active[f] = false;
+            }
+        }
+        for r in &problem.resources {
+            let used: f64 = r.members.iter().map(|&m| rates[m]).sum();
+            if used + EPS >= r.capacity_mbps {
+                for &m in &r.members {
+                    active[m] = false;
+                }
+            }
+        }
+        if t_star <= EPS {
+            // Numerical stall: everything remaining is effectively frozen.
+            break;
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total(rates: &[f64], members: &[usize]) -> f64 {
+        members.iter().map(|&m| rates[m]).sum()
+    }
+
+    #[test]
+    fn single_flow_hits_min_of_ceiling_and_capacity() {
+        let mut p = FairnessProblem::new();
+        let f = p.add_flow(1.0, 500.0);
+        p.add_resource(ResourceKind::Egress(0), 1000.0, vec![f]);
+        assert!((allocate_max_min(&p)[f] - 500.0).abs() < 1e-6);
+
+        let mut p = FairnessProblem::new();
+        let f = p.add_flow(1.0, 5000.0);
+        p.add_resource(ResourceKind::Egress(0), 1000.0, vec![f]);
+        assert!((allocate_max_min(&p)[f] - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equal_weights_split_equally() {
+        let mut p = FairnessProblem::new();
+        let a = p.add_flow(1.0, 1e9);
+        let b = p.add_flow(1.0, 1e9);
+        p.add_resource(ResourceKind::Egress(0), 1000.0, vec![a, b]);
+        let r = allocate_max_min(&p);
+        assert!((r[a] - 500.0).abs() < 1e-6 && (r[b] - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weights_bias_the_split() {
+        let mut p = FairnessProblem::new();
+        let a = p.add_flow(3.0, 1e9);
+        let b = p.add_flow(1.0, 1e9);
+        p.add_resource(ResourceKind::Egress(0), 1000.0, vec![a, b]);
+        let r = allocate_max_min(&p);
+        assert!((r[a] - 750.0).abs() < 1e-6 && (r[b] - 250.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ceiling_frees_capacity_for_others() {
+        let mut p = FairnessProblem::new();
+        let a = p.add_flow(1.0, 100.0); // window-limited
+        let b = p.add_flow(1.0, 1e9);
+        p.add_resource(ResourceKind::Egress(0), 1000.0, vec![a, b]);
+        let r = allocate_max_min(&p);
+        assert!((r[a] - 100.0).abs() < 1e-6);
+        assert!((r[b] - 900.0).abs() < 1e-6, "b should absorb a's unused share, got {}", r[b]);
+    }
+
+    #[test]
+    fn multiple_resources_bind_the_tightest() {
+        let mut p = FairnessProblem::new();
+        let a = p.add_flow(1.0, 1e9);
+        p.add_resource(ResourceKind::Egress(0), 800.0, vec![a]);
+        p.add_resource(ResourceKind::Ingress(1), 300.0, vec![a]);
+        p.add_resource(ResourceKind::Path(0, 1), 4000.0, vec![a]);
+        assert!((allocate_max_min(&p)[a] - 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_weight_flow_gets_nothing() {
+        let mut p = FairnessProblem::new();
+        let a = p.add_flow(0.0, 1e9);
+        let b = p.add_flow(1.0, 1e9);
+        p.add_resource(ResourceKind::Egress(0), 1000.0, vec![a, b]);
+        let r = allocate_max_min(&p);
+        assert_eq!(r[a], 0.0);
+        assert!((r[b] - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_problem_returns_empty() {
+        assert!(allocate_max_min(&FairnessProblem::new()).is_empty());
+    }
+
+    #[test]
+    fn shared_middle_resource_triangle() {
+        // Two flows share host 0 egress; one of them is also path-limited.
+        let mut p = FairnessProblem::new();
+        let near = p.add_flow(4.0, 1e9);
+        let far = p.add_flow(1.0, 120.0);
+        p.add_resource(ResourceKind::Egress(0), 1000.0, vec![near, far]);
+        let r = allocate_max_min(&p);
+        assert!((r[far] - 120.0).abs() < 1e-6);
+        assert!((r[near] - 880.0).abs() < 1e-6);
+    }
+
+    #[cfg(test)]
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_problem() -> impl Strategy<Value = FairnessProblem> {
+            (2usize..6, 1usize..4).prop_flat_map(|(nf, nr)| {
+                let flows = proptest::collection::vec((0.1f64..10.0, 10.0f64..5000.0), nf);
+                let resources = proptest::collection::vec(
+                    (50.0f64..3000.0, proptest::collection::vec(0usize..nf, 1..=nf)),
+                    nr,
+                );
+                (flows, resources).prop_map(|(flows, resources)| {
+                    let mut p = FairnessProblem::new();
+                    for (w, c) in flows {
+                        p.add_flow(w, c);
+                    }
+                    for (i, (cap, mut members)) in resources.into_iter().enumerate() {
+                        members.sort_unstable();
+                        members.dedup();
+                        p.add_resource(ResourceKind::Egress(i), cap, members);
+                    }
+                    p
+                })
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn no_resource_oversubscribed(p in arb_problem()) {
+                let rates = allocate_max_min(&p);
+                for r in &p.resources {
+                    let used = total(&rates, &r.members);
+                    prop_assert!(used <= r.capacity_mbps + 1e-6,
+                        "{:?} used {used} of {}", r.kind, r.capacity_mbps);
+                }
+            }
+
+            #[test]
+            fn no_flow_exceeds_ceiling(p in arb_problem()) {
+                let rates = allocate_max_min(&p);
+                for (f, &rate) in rates.iter().enumerate() {
+                    prop_assert!(rate <= p.ceilings[f] + 1e-6);
+                    prop_assert!(rate >= 0.0);
+                }
+            }
+
+            #[test]
+            fn allocation_is_pareto_efficient(p in arb_problem()) {
+                // Every flow is blocked by its ceiling or by a saturated resource.
+                let rates = allocate_max_min(&p);
+                for f in 0..p.flow_count() {
+                    if rates[f] + 1e-6 >= p.ceilings[f] {
+                        continue;
+                    }
+                    let blocked = p.resources.iter().any(|r| {
+                        r.members.contains(&f)
+                            && total(&rates, &r.members) + 1e-6 >= r.capacity_mbps
+                    });
+                    let unconstrained = !p.resources.iter().any(|r| r.members.contains(&f));
+                    prop_assert!(blocked || unconstrained,
+                        "flow {f} at {} below ceiling {} with slack everywhere",
+                        rates[f], p.ceilings[f]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Geographic coordinates of cloud regions and great-circle distances.
+//!
+//! The WANify prediction model uses the physical distance between VMs as a
+//! primary feature (paper §3.1, Table 3: `Dij`), derived from the
+//! geo-coordinates of the VMs' regions.
+
+/// A point on the globe in decimal degrees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in decimal degrees, positive north.
+    pub lat_deg: f64,
+    /// Longitude in decimal degrees, positive east.
+    pub lon_deg: f64,
+}
+
+impl GeoPoint {
+    /// Creates a new point.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wanify_netsim::GeoPoint;
+    /// let omaha = GeoPoint::new(41.26, -95.93);
+    /// assert!(omaha.lat_deg > 0.0);
+    /// ```
+    pub fn new(lat_deg: f64, lon_deg: f64) -> Self {
+        Self { lat_deg, lon_deg }
+    }
+}
+
+/// Mean Earth radius in miles.
+const EARTH_RADIUS_MILES: f64 = 3958.8;
+
+/// Great-circle distance between two points in miles (haversine formula).
+///
+/// # Examples
+///
+/// ```
+/// use wanify_netsim::{haversine_miles, Region};
+/// let d = haversine_miles(Region::UsEast.location(), Region::UsWest.location());
+/// assert!((2000.0..3000.0).contains(&d), "cross-US distance, got {d}");
+/// ```
+pub fn haversine_miles(a: GeoPoint, b: GeoPoint) -> f64 {
+    let (lat1, lon1) = (a.lat_deg.to_radians(), a.lon_deg.to_radians());
+    let (lat2, lon2) = (b.lat_deg.to_radians(), b.lon_deg.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_MILES * h.sqrt().asin()
+}
+
+/// Cloud regions used by the paper's testbeds.
+///
+/// The first eight are the AWS regions of Fig. 1; [`Region::GcpUsCentral`]
+/// supports the multi-cloud refactoring experiments of §3.3.3/§5.8.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Region {
+    /// US East (North Virginia).
+    UsEast,
+    /// US West (North California).
+    UsWest,
+    /// AP South (Mumbai).
+    ApSouth,
+    /// AP Southeast (Singapore).
+    ApSoutheast1,
+    /// AP Southeast 2 (Sydney).
+    ApSoutheast2,
+    /// AP Northeast (Tokyo).
+    ApNortheast,
+    /// EU West (Ireland).
+    EuWest,
+    /// SA East (São Paulo).
+    SaEast,
+    /// GCP us-central1 (Iowa) — used for multi-cloud experiments.
+    GcpUsCentral,
+}
+
+impl Region {
+    /// The eight AWS regions in the order the paper lists them (Fig. 1).
+    pub fn paper_order() -> [Region; 8] {
+        [
+            Region::UsEast,
+            Region::UsWest,
+            Region::ApSouth,
+            Region::ApSoutheast1,
+            Region::ApSoutheast2,
+            Region::ApNortheast,
+            Region::EuWest,
+            Region::SaEast,
+        ]
+    }
+
+    /// Approximate geo-coordinates of the region's data-center campus.
+    pub fn location(self) -> GeoPoint {
+        match self {
+            Region::UsEast => GeoPoint::new(38.95, -77.45),
+            Region::UsWest => GeoPoint::new(37.35, -121.95),
+            Region::ApSouth => GeoPoint::new(19.08, 72.88),
+            Region::ApSoutheast1 => GeoPoint::new(1.35, 103.82),
+            Region::ApSoutheast2 => GeoPoint::new(-33.87, 151.21),
+            Region::ApNortheast => GeoPoint::new(35.68, 139.69),
+            Region::EuWest => GeoPoint::new(53.35, -6.26),
+            Region::SaEast => GeoPoint::new(-23.55, -46.63),
+            Region::GcpUsCentral => GeoPoint::new(41.26, -95.86),
+        }
+    }
+
+    /// Human-readable name matching the paper's labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::UsEast => "US East",
+            Region::UsWest => "US West",
+            Region::ApSouth => "AP South",
+            Region::ApSoutheast1 => "AP SE",
+            Region::ApSoutheast2 => "AP SE-2",
+            Region::ApNortheast => "AP NE",
+            Region::EuWest => "EU West",
+            Region::SaEast => "SA East",
+            Region::GcpUsCentral => "GCP US Central",
+        }
+    }
+
+    /// Cloud provider operating the region.
+    pub fn provider(self) -> Provider {
+        match self {
+            Region::GcpUsCentral => Provider::Gcp,
+            _ => Provider::Aws,
+        }
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Cloud provider of a region; bandwidth between providers is adjusted by
+/// WANify's refactoring vector (paper §3.3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Provider {
+    /// Amazon Web Services.
+    Aws,
+    /// Google Cloud Platform.
+    Gcp,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haversine_zero_for_same_point() {
+        let p = Region::UsEast.location();
+        assert!(haversine_miles(p, p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn haversine_symmetry() {
+        let a = Region::UsEast.location();
+        let b = Region::ApSoutheast1.location();
+        let d1 = haversine_miles(a, b);
+        let d2 = haversine_miles(b, a);
+        assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn us_east_to_singapore_is_farther_than_us_west() {
+        let use_ = Region::UsEast.location();
+        let usw = Region::UsWest.location();
+        let sin = Region::ApSoutheast1.location();
+        assert!(haversine_miles(use_, sin) > haversine_miles(use_, usw) * 3.0);
+    }
+
+    #[test]
+    fn us_east_singapore_distance_plausible() {
+        let d = haversine_miles(Region::UsEast.location(), Region::ApSoutheast1.location());
+        assert!((9000.0..10500.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn paper_order_is_unique() {
+        let regions = Region::paper_order();
+        for (i, a) in regions.iter().enumerate() {
+            for b in regions.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_labels() {
+        assert_eq!(Region::ApSoutheast1.to_string(), "AP SE");
+        assert_eq!(Region::SaEast.to_string(), "SA East");
+    }
+
+    #[test]
+    fn providers() {
+        assert_eq!(Region::UsEast.provider(), Provider::Aws);
+        assert_eq!(Region::GcpUsCentral.provider(), Provider::Gcp);
+    }
+}

@@ -1,0 +1,160 @@
+//! Calibrated parameters of the WAN link model.
+
+/// Tunable constants of the link model.
+///
+/// Defaults are calibrated so that static-independent single-connection
+/// probes reproduce the paper's Fig. 1 endpoints: ≈1700 Mbps between US East
+/// and US West and ≈121 Mbps between US East and AP Southeast (Singapore).
+///
+/// The model is:
+///
+/// * `RTT(i,j) = rtt_base_ms + rtt_ms_per_mile · distance(i,j)`
+/// * per-connection throughput ceiling `conn_cap(i,j) = window_k / RTT^rtt_exponent`
+/// * a flow with `n` connections has ceiling `n · conn_cap` and competes for
+///   shared NIC capacity with weight `n / RTT^rtt_exponent` (TCP RTT bias)
+/// * a host whose total active connections exceed its budget `B` wastes
+///   goodput: its usable NIC capacity is divided by
+///   `1 + congestion_lambda · (conns/B − 1)`
+/// * every directed region pair also has a backbone path capacity
+///   `path_cap_mbps`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkModelParams {
+    /// Fixed RTT component in milliseconds (last-mile + stack latency).
+    pub rtt_base_ms: f64,
+    /// RTT growth per great-circle mile (fiber propagation + routing slack).
+    pub rtt_ms_per_mile: f64,
+    /// Numerator of the per-connection window limit, in Mbps · ms^exponent.
+    pub window_k: f64,
+    /// Exponent of the RTT penalty on the per-connection *window* ceiling
+    /// (2 calibrates the Fig. 1 endpoints: 1700 Mbps nearby, 121 far).
+    pub rtt_exponent: f64,
+    /// Exponent of the RTT bias in *contention weight*. Deliberately below
+    /// the window exponent: under contention, long-RTT flows lose share but
+    /// not as steeply as their window limit falls with distance, so runtime
+    /// bandwidth is a non-proportional reshuffling of static bandwidth —
+    /// nearby links lose the most, ranks can flip (paper §2.2, Table 1).
+    pub weight_rtt_exponent: f64,
+    /// Backbone capacity per directed region pair, in Mbps.
+    pub path_cap_mbps: f64,
+    /// Goodput loss slope once a host exceeds its connection budget.
+    pub congestion_lambda: f64,
+    /// Relative amplitude of the Ornstein-Uhlenbeck bandwidth dynamics.
+    pub dynamics_sigma: f64,
+    /// Mean-reversion rate of the dynamics process (per second).
+    pub dynamics_theta: f64,
+    /// Relative observation noise of a 1-second snapshot probe.
+    pub snapshot_noise: f64,
+    /// Multiplier on `conn_cap` for flows crossing cloud providers.
+    pub cross_provider_factor: f64,
+    /// Simulation step of [`crate::NetSim::run_transfers`] in seconds.
+    /// Smaller steps resolve sub-second transfer differences at higher
+    /// simulation cost; probes always use 1-second epochs.
+    pub epoch_dt_s: f64,
+}
+
+impl Default for LinkModelParams {
+    fn default() -> Self {
+        Self {
+            rtt_base_ms: 2.0,
+            rtt_ms_per_mile: 0.0205,
+            window_k: 4.6e6,
+            rtt_exponent: 2.0,
+            weight_rtt_exponent: 1.7,
+            path_cap_mbps: 4000.0,
+            congestion_lambda: 0.4,
+            dynamics_sigma: 0.06,
+            dynamics_theta: 0.25,
+            snapshot_noise: 0.05,
+            cross_provider_factor: 0.8,
+            epoch_dt_s: 0.25,
+        }
+    }
+}
+
+impl LinkModelParams {
+    /// Round-trip time in milliseconds for a link of `distance_miles`.
+    pub fn rtt_ms(&self, distance_miles: f64) -> f64 {
+        self.rtt_base_ms + self.rtt_ms_per_mile * distance_miles
+    }
+
+    /// Single-connection throughput ceiling in Mbps for a link of
+    /// `distance_miles`, before NIC/path caps.
+    pub fn conn_cap_mbps(&self, distance_miles: f64) -> f64 {
+        self.window_k / self.rtt_ms(distance_miles).powf(self.rtt_exponent)
+    }
+
+    /// Contention weight of one connection on a link of `distance_miles`
+    /// (TCP's RTT bias: long-RTT connections lose the bandwidth race).
+    pub fn conn_weight(&self, distance_miles: f64) -> f64 {
+        1.0 / self.rtt_ms(distance_miles).powf(self.weight_rtt_exponent)
+    }
+
+    /// Goodput divisor for a host running `conns` connections with budget
+    /// `budget`: 1.0 while within budget, growing *quadratically* in the
+    /// oversubscription ratio beyond it. Mild oversubscription (a WANify
+    /// plan at ~2× budget) costs little; flooding every pair with uniform
+    /// parallel connections (~5× budget) collapses goodput — the paper's
+    /// observation that naive parallelism backfires (§2.2, Fig. 5).
+    pub fn congestion_divisor(&self, conns: u32, budget: u32) -> f64 {
+        if budget == 0 || conns <= budget {
+            1.0
+        } else {
+            let over = f64::from(conns) / f64::from(budget) - 1.0;
+            1.0 + self.congestion_lambda * over * over
+        }
+    }
+
+    /// A params set with dynamics and snapshot noise disabled, for
+    /// deterministic unit tests.
+    pub fn frozen() -> Self {
+        Self { dynamics_sigma: 0.0, snapshot_noise: 0.0, ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_us_east_us_west() {
+        // ~2,437 miles => RTT ~52 ms => ~1700 Mbps.
+        let p = LinkModelParams::default();
+        let cap = p.conn_cap_mbps(2437.0);
+        assert!((1500.0..1900.0).contains(&cap), "got {cap}");
+    }
+
+    #[test]
+    fn calibration_us_east_singapore() {
+        // ~9,670 miles => RTT ~200 ms => ~115 Mbps (paper observed 121).
+        let p = LinkModelParams::default();
+        let cap = p.conn_cap_mbps(9670.0);
+        assert!((100.0..145.0).contains(&cap), "got {cap}");
+    }
+
+    #[test]
+    fn conn_cap_decreases_with_distance() {
+        let p = LinkModelParams::default();
+        assert!(p.conn_cap_mbps(1000.0) > p.conn_cap_mbps(5000.0));
+    }
+
+    #[test]
+    fn congestion_divisor_is_one_within_budget() {
+        let p = LinkModelParams::default();
+        assert_eq!(p.congestion_divisor(8, 16), 1.0);
+        assert_eq!(p.congestion_divisor(16, 16), 1.0);
+        assert!(p.congestion_divisor(32, 16) > 1.0);
+    }
+
+    #[test]
+    fn congestion_divisor_handles_zero_budget() {
+        let p = LinkModelParams::default();
+        assert_eq!(p.congestion_divisor(100, 0), 1.0);
+    }
+
+    #[test]
+    fn frozen_disables_noise() {
+        let p = LinkModelParams::frozen();
+        assert_eq!(p.dynamics_sigma, 0.0);
+        assert_eq!(p.snapshot_noise, 0.0);
+    }
+}

@@ -1,0 +1,565 @@
+//! The WAN simulator: rate allocation, temporal evolution and transfers.
+
+use crate::dynamics::Dynamics;
+use crate::fairness::{allocate_max_min, FairnessProblem, ResourceKind};
+use crate::flow::{FlowSpec, Transfer, TransferReport};
+use crate::grid::{BwMatrix, ConnMatrix, Grid};
+use crate::params::LinkModelParams;
+use crate::topology::{DcId, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Context handed to an [`EpochHook`] once per simulated second.
+///
+/// WANify's local agents (paper §4.1.3) plug in here: they observe the
+/// monitored per-pair bandwidth (the simulator's stand-in for `ifTop`),
+/// and may adjust connection counts and traffic-control throttles for the
+/// next epoch.
+#[derive(Debug)]
+pub struct EpochCtx<'a> {
+    /// Simulation time at the start of the epoch, in seconds.
+    pub time_s: f64,
+    /// Throughput observed during the previous epoch, per directed pair.
+    pub observed_bw: &'a BwMatrix,
+    /// Remaining payload per directed pair, in gigabits.
+    pub remaining_gb: &'a BwMatrix,
+    /// Connection counts to use from the next epoch on (mutable).
+    pub conns: &'a mut ConnMatrix,
+    /// Per-pair throughput caps in Mbps (`f64::INFINITY` = unthrottled).
+    pub throttles: &'a mut Grid<f64>,
+}
+
+/// Per-epoch callback driven by [`NetSim::run_transfers`].
+pub trait EpochHook {
+    /// Invoked after every simulated second.
+    fn on_epoch(&mut self, ctx: &mut EpochCtx<'_>);
+}
+
+/// The deterministic WAN simulator.
+///
+/// See the crate-level documentation for the model; all randomness flows
+/// from the seed given to [`NetSim::new`].
+#[derive(Debug)]
+pub struct NetSim {
+    topo: Topology,
+    params: LinkModelParams,
+    dynamics: Dynamics,
+    rng: StdRng,
+    time_s: f64,
+    throttles: Grid<f64>,
+}
+
+impl NetSim {
+    /// Creates a simulator over `topo` with the given parameters and seed.
+    pub fn new(topo: Topology, params: LinkModelParams, seed: u64) -> Self {
+        let n = topo.len();
+        let dynamics = Dynamics::new(n, params.dynamics_sigma, params.dynamics_theta);
+        Self {
+            topo,
+            params,
+            dynamics,
+            rng: StdRng::seed_from_u64(seed),
+            time_s: 0.0,
+            throttles: Grid::filled(n, f64::INFINITY),
+        }
+    }
+
+    /// The simulated topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The link-model parameters.
+    pub fn params(&self) -> &LinkModelParams {
+        &self.params
+    }
+
+    /// Current simulation time in seconds.
+    pub fn time_s(&self) -> f64 {
+        self.time_s
+    }
+
+    /// Mutable access to the RNG (probe noise shares the seed stream).
+    pub(crate) fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Current dynamics multipliers (for inspection/testing).
+    pub fn dynamics(&self) -> &Dynamics {
+        &self.dynamics
+    }
+
+    /// Caps the directed pair `src → dst` at `cap_mbps` (traffic control,
+    /// paper §3.2.2 "Throttling BW").
+    pub fn set_throttle(&mut self, src: DcId, dst: DcId, cap_mbps: f64) {
+        self.throttles.put(src, dst, cap_mbps.max(0.0));
+    }
+
+    /// Removes all traffic-control caps.
+    pub fn clear_throttles(&mut self) {
+        let n = self.topo.len();
+        self.throttles = Grid::filled(n, f64::INFINITY);
+    }
+
+    /// Current throttle table.
+    pub fn throttles(&self) -> &Grid<f64> {
+        &self.throttles
+    }
+
+    /// Advances wall-clock time and bandwidth dynamics by `dt_s` seconds.
+    pub fn advance(&mut self, dt_s: f64) {
+        self.dynamics.advance(dt_s, &mut self.rng);
+        self.time_s += dt_s;
+    }
+
+    /// Jumps to an independent point in time (a different hour/day), as the
+    /// paper does when collecting training data over a week (§5.1).
+    pub fn shuffle_time(&mut self) {
+        self.dynamics.shuffle_epoch(&mut self.rng);
+        self.time_s += 3600.0;
+    }
+
+    /// Ceiling of a flow in Mbps: window limit × dynamics × provider factor,
+    /// capped by any traffic-control throttle.
+    fn flow_ceiling(&self, f: &FlowSpec) -> f64 {
+        let dist = self.topo.distance_miles(f.src, f.dst);
+        let mut cap = f64::from(f.conns) * self.params.conn_cap_mbps(dist);
+        cap *= self.dynamics.multiplier(f.src.0, f.dst.0);
+        let src_provider = self.topo.dc(f.src).region.provider();
+        let dst_provider = self.topo.dc(f.dst).region.provider();
+        if src_provider != dst_provider {
+            cap *= self.params.cross_provider_factor;
+        }
+        cap.min(self.throttles.at(f.src, f.dst))
+    }
+
+    /// Contention weight of a flow (connections × per-connection RTT bias).
+    fn flow_weight(&self, f: &FlowSpec) -> f64 {
+        let dist = self.topo.distance_miles(f.src, f.dst);
+        f64::from(f.conns) * self.params.conn_weight(dist)
+    }
+
+    /// Allocates instantaneous rates (Mbps) to a set of concurrent flows
+    /// under weighted max-min fairness with congestion-degraded NIC caps.
+    ///
+    /// Intra-DC flows (`src == dst`) are never WAN-limited and receive an
+    /// effectively unbounded rate, matching the paper's system model (§2.1).
+    pub fn allocate_rates(&self, flows: &[FlowSpec]) -> Vec<f64> {
+        let n = self.topo.len();
+        let mut problem = FairnessProblem::new();
+        let mut egress_members: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut ingress_members: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut host_conns = vec![0u32; n];
+        let mut rates = vec![0.0; flows.len()];
+
+        let mut problem_index: Vec<Option<usize>> = vec![None; flows.len()];
+        for (i, f) in flows.iter().enumerate() {
+            if f.src == f.dst || f.conns == 0 {
+                continue; // intra-DC or idle: handled after the solve
+            }
+            let idx = problem.add_flow(self.flow_weight(f), self.flow_ceiling(f));
+            problem_index[i] = Some(idx);
+            egress_members[f.src.0].push(idx);
+            ingress_members[f.dst.0].push(idx);
+            host_conns[f.src.0] += f.conns;
+            host_conns[f.dst.0] += f.conns;
+        }
+
+        for dc in 0..n {
+            let d = self.topo.dc(DcId(dc));
+            let divisor = self.params.congestion_divisor(host_conns[dc], d.conn_budget());
+            if !egress_members[dc].is_empty() {
+                problem.add_resource(
+                    ResourceKind::Egress(dc),
+                    d.egress_cap_mbps() / divisor,
+                    egress_members[dc].clone(),
+                );
+            }
+            if !ingress_members[dc].is_empty() {
+                problem.add_resource(
+                    ResourceKind::Ingress(dc),
+                    d.ingress_cap_mbps() / divisor,
+                    ingress_members[dc].clone(),
+                );
+            }
+        }
+        // Backbone path capacity per directed pair with at least one flow.
+        let mut path_members: std::collections::HashMap<(usize, usize), Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, f) in flows.iter().enumerate() {
+            if let Some(idx) = problem_index[i] {
+                path_members.entry((f.src.0, f.dst.0)).or_default().push(idx);
+            }
+        }
+        for ((s, d), members) in path_members {
+            let cap = self.params.path_cap_mbps * self.dynamics.multiplier(s, d);
+            problem.add_resource(ResourceKind::Path(s, d), cap, members);
+        }
+
+        let solved = allocate_max_min(&problem);
+        for (i, f) in flows.iter().enumerate() {
+            rates[i] = match problem_index[i] {
+                Some(idx) => solved[idx],
+                // Intra-DC transfers run at LAN speed; model as very fast.
+                None if f.src == f.dst && f.conns > 0 => INTRA_DC_MBPS,
+                None => 0.0,
+            };
+        }
+        rates
+    }
+
+    /// Total active connections per host implied by `flows`.
+    pub fn host_connection_counts(&self, flows: &[FlowSpec]) -> Vec<u32> {
+        let mut counts = vec![0u32; self.topo.len()];
+        for f in flows {
+            if f.src != f.dst {
+                counts[f.src.0] += f.conns;
+                counts[f.dst.0] += f.conns;
+            }
+        }
+        counts
+    }
+
+    /// Simulates the given transfers to completion in 1-second epochs.
+    ///
+    /// `conns` gives the initial parallel-connection matrix; an optional
+    /// [`EpochHook`] (WANify's local agents) may mutate connections and
+    /// throttles between epochs. Returns per-transfer completion times and
+    /// bandwidth statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any transfer has a negative payload.
+    pub fn run_transfers<'a, 'b: 'a>(
+        &mut self,
+        transfers: &[Transfer],
+        conns: &ConnMatrix,
+        mut hook: Option<&'a mut (dyn EpochHook + 'b)>,
+    ) -> TransferReport {
+        let n = self.topo.len();
+        assert_eq!(conns.len(), n, "connection matrix must match topology size");
+        for t in transfers {
+            assert!(t.gigabits >= 0.0, "transfer payload must be non-negative");
+        }
+
+        // Aggregate per directed pair: multiple transfers on a pair share
+        // one flow (Spark executors multiplex a connection pool per peer).
+        let mut remaining = BwMatrix::new(n);
+        for t in transfers {
+            let cur = remaining.at(t.src, t.dst);
+            remaining.put(t.src, t.dst, cur + t.gigabits);
+        }
+        let total_by_pair = remaining.clone();
+        let mut conns = conns.clone();
+        let mut busy_s = BwMatrix::new(n);
+        let mut moved_gb = BwMatrix::new(n);
+        let mut epochs = 0usize;
+        const MAX_EPOCHS: usize = 4_000_000;
+        const EPS_GB: f64 = 1e-9;
+
+        while remaining.iter_pairs().any(|(_, _, r)| r > EPS_GB)
+            || (0..n).any(|i| remaining.get(i, i) > EPS_GB)
+        {
+            // Build the active flow set for this epoch.
+            let mut flows = Vec::new();
+            let mut pair_of_flow = Vec::new();
+            for i in 0..n {
+                for j in 0..n {
+                    if remaining.get(i, j) > EPS_GB {
+                        let c = if i == j { 1 } else { conns.get(i, j).max(1) };
+                        flows.push(FlowSpec::new(DcId(i), DcId(j), c));
+                        pair_of_flow.push((i, j));
+                    }
+                }
+            }
+            let rates = self.allocate_rates(&flows);
+            let dt = self.params.epoch_dt_s.max(1e-3);
+            let mut observed = BwMatrix::new(n);
+            for (f, &(i, j)) in pair_of_flow.iter().enumerate() {
+                let rate = rates[f];
+                observed.set(i, j, rate);
+                let gb = (rate * dt / 1000.0).min(remaining.get(i, j));
+                remaining.set(i, j, remaining.get(i, j) - gb);
+                moved_gb.set(i, j, moved_gb.get(i, j) + gb);
+                busy_s.set(i, j, busy_s.get(i, j) + dt);
+            }
+            self.advance(dt);
+            epochs += 1;
+            if let Some(h) = hook.as_deref_mut() {
+                let mut ctx = EpochCtx {
+                    time_s: self.time_s,
+                    observed_bw: &observed,
+                    remaining_gb: &remaining,
+                    conns: &mut conns,
+                    throttles: &mut self.throttles,
+                };
+                h.on_epoch(&mut ctx);
+            }
+            if epochs >= MAX_EPOCHS {
+                break; // safety valve; tests assert we never reach it
+            }
+        }
+
+        // Per-pair mean achieved throughput while busy.
+        let achieved = BwMatrix::from_fn(n, |i, j| {
+            let busy = busy_s.get(i, j);
+            if busy > 0.0 {
+                moved_gb.get(i, j) * 1000.0 / busy
+            } else {
+                0.0
+            }
+        });
+        let min_pair = achieved
+            .iter_pairs()
+            .filter(|&(i, j, _)| total_by_pair.get(i, j) > EPS_GB)
+            .map(|(_, _, v)| v)
+            .fold(f64::INFINITY, f64::min);
+        let mut egress = vec![0.0; n];
+        for (i, j, gb) in moved_gb.iter_pairs() {
+            let _ = j;
+            egress[i] += gb;
+        }
+        // Completion time per original transfer: the epoch when its pair drained.
+        // Since transfers on a pair share a flow, each finishes with the pair.
+        let dt = self.params.epoch_dt_s.max(1e-3);
+        let completion: Vec<f64> = transfers
+            .iter()
+            .map(|t| busy_s.at(t.src, t.dst).max(if t.gigabits > 0.0 { dt } else { 0.0 }))
+            .collect();
+        let makespan = completion.iter().copied().fold(0.0, f64::max);
+        TransferReport {
+            makespan_s: makespan,
+            completion_s: completion,
+            achieved_bw: achieved,
+            min_pair_bw_mbps: if min_pair.is_finite() { min_pair } else { 0.0 },
+            egress_gigabits: egress,
+            epochs,
+        }
+    }
+}
+
+/// Effective intra-DC transfer rate in Mbps (LAN, never the bottleneck).
+pub const INTRA_DC_MBPS: f64 = 25_000.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::Region;
+    use crate::vm::VmType;
+
+    fn sim3() -> NetSim {
+        let topo = Topology::builder()
+            .dc(Region::UsEast, VmType::t3_nano(), 1)
+            .dc(Region::UsWest, VmType::t3_nano(), 1)
+            .dc(Region::ApSoutheast1, VmType::t3_nano(), 1)
+            .build()
+            .unwrap();
+        NetSim::new(topo, LinkModelParams::frozen(), 1)
+    }
+
+    #[test]
+    fn lone_flow_is_window_limited_on_long_paths() {
+        let sim = sim3();
+        let rates = sim.allocate_rates(&[FlowSpec::new(DcId(0), DcId(2), 1)]);
+        assert!((100.0..150.0).contains(&rates[0]), "US East→AP SE single conn: {}", rates[0]);
+    }
+
+    #[test]
+    fn lone_flow_nic_limited_on_short_paths() {
+        let sim = sim3();
+        let rates = sim.allocate_rates(&[FlowSpec::new(DcId(0), DcId(1), 4)]);
+        let nic = sim.topology().dc(DcId(0)).egress_cap_mbps();
+        assert!(rates[0] <= nic + 1e-6);
+        assert!(rates[0] > 0.8 * nic, "4 conns should saturate the NIC, got {}", rates[0]);
+    }
+
+    #[test]
+    fn parallel_connections_raise_weak_link_throughput() {
+        let sim = sim3();
+        let one = sim.allocate_rates(&[FlowSpec::new(DcId(0), DcId(2), 1)])[0];
+        let nine = sim.allocate_rates(&[FlowSpec::new(DcId(0), DcId(2), 9)])[0];
+        assert!(nine > 6.0 * one, "9 conns: {nine} vs 1 conn: {one}");
+        assert!((800.0..1300.0).contains(&nine), "paper: ~1 Gbps with 9 conns, got {nine}");
+    }
+
+    #[test]
+    fn contention_starves_long_rtt_flows() {
+        let sim = sim3();
+        let flows = [
+            FlowSpec::new(DcId(0), DcId(1), 8), // nearby, well-parallelized
+            FlowSpec::new(DcId(0), DcId(2), 1), // distant, same egress NIC
+        ];
+        let rates = sim.allocate_rates(&flows);
+        let alone = sim.allocate_rates(&[flows[1]])[0];
+        assert!(rates[1] < alone, "contended {} vs alone {alone}", rates[1]);
+        assert!(rates[0] > 4.0 * rates[1], "RTT bias should favor the nearby flow");
+    }
+
+    #[test]
+    fn throttle_caps_flow() {
+        let mut sim = sim3();
+        sim.set_throttle(DcId(0), DcId(1), 200.0);
+        let rates = sim.allocate_rates(&[FlowSpec::new(DcId(0), DcId(1), 8)]);
+        assert!(rates[0] <= 200.0 + 1e-6);
+        sim.clear_throttles();
+        let rates = sim.allocate_rates(&[FlowSpec::new(DcId(0), DcId(1), 8)]);
+        assert!(rates[0] > 1000.0);
+    }
+
+    #[test]
+    fn intra_dc_flows_run_at_lan_speed() {
+        let sim = sim3();
+        let rates = sim.allocate_rates(&[FlowSpec::new(DcId(1), DcId(1), 1)]);
+        assert_eq!(rates[0], INTRA_DC_MBPS);
+    }
+
+    #[test]
+    fn zero_conn_flow_gets_zero() {
+        let sim = sim3();
+        let rates = sim.allocate_rates(&[FlowSpec::new(DcId(0), DcId(1), 0)]);
+        assert_eq!(rates[0], 0.0);
+    }
+
+    #[test]
+    fn oversubscribed_host_loses_goodput() {
+        let sim = sim3();
+        let modest = sim.allocate_rates(&[FlowSpec::new(DcId(0), DcId(1), 8)])[0];
+        let flooded = sim.allocate_rates(&[FlowSpec::new(DcId(0), DcId(1), 64)])[0];
+        assert!(
+            flooded < modest,
+            "64 conns ({flooded}) should underperform 8 conns ({modest}) via congestion"
+        );
+    }
+
+    #[test]
+    fn run_transfers_completes_and_reports() {
+        let mut sim = sim3();
+        let transfers = [
+            Transfer::new(DcId(0), DcId(1), 4.0),
+            Transfer::new(DcId(0), DcId(2), 1.0),
+            Transfer::new(DcId(2), DcId(1), 0.5),
+        ];
+        let conns = ConnMatrix::filled(3, 1);
+        let report = sim.run_transfers(&transfers, &conns, None);
+        assert!(report.makespan_s >= 1.0);
+        assert_eq!(report.completion_s.len(), 3);
+        assert!(report.min_pair_bw_mbps > 0.0);
+        assert!(report.egress_gigabits[0] > 4.9, "DC0 sent 5 Gb total");
+        assert!(report.max_pair_bw_mbps() >= report.min_pair_bw_mbps);
+    }
+
+    #[test]
+    fn run_transfers_with_zero_payload_is_instant() {
+        let mut sim = sim3();
+        let conns = ConnMatrix::filled(3, 1);
+        let report = sim.run_transfers(&[Transfer::new(DcId(0), DcId(1), 0.0)], &conns, None);
+        assert_eq!(report.epochs, 0);
+        assert_eq!(report.completion_s[0], 0.0);
+    }
+
+    #[test]
+    fn hook_can_raise_connections_mid_transfer() {
+        struct Booster;
+        impl EpochHook for Booster {
+            fn on_epoch(&mut self, ctx: &mut EpochCtx<'_>) {
+                ctx.conns.set(0, 2, 9);
+            }
+        }
+        let mut sim = sim3();
+        let conns = ConnMatrix::filled(3, 1);
+        let slow = sim.run_transfers(&[Transfer::new(DcId(0), DcId(2), 2.0)], &conns, None);
+        let mut sim = sim3();
+        let fast = sim
+            .run_transfers(&[Transfer::new(DcId(0), DcId(2), 2.0)], &conns, Some(&mut Booster));
+        assert!(
+            fast.makespan_s < slow.makespan_s,
+            "boosted {} vs single-conn {}",
+            fast.makespan_s,
+            slow.makespan_s
+        );
+    }
+
+    #[cfg(test)]
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_flows() -> impl Strategy<Value = Vec<FlowSpec>> {
+            proptest::collection::vec((0usize..3, 0usize..3, 0u32..12), 1..10).prop_map(
+                |raw| {
+                    raw.into_iter()
+                        .map(|(s, d, c)| FlowSpec::new(DcId(s), DcId(d), c))
+                        .collect()
+                },
+            )
+        }
+
+        proptest! {
+            #[test]
+            fn rates_are_nonnegative_and_window_bounded(flows in arb_flows()) {
+                let sim = sim3();
+                let rates = sim.allocate_rates(&flows);
+                for (f, &rate) in flows.iter().zip(&rates) {
+                    prop_assert!(rate >= 0.0);
+                    if f.src != f.dst && f.conns > 0 {
+                        let dist = sim.topology().distance_miles(f.src, f.dst);
+                        let window =
+                            f64::from(f.conns) * sim.params().conn_cap_mbps(dist);
+                        prop_assert!(rate <= window + 1e-6,
+                            "flow {f:?} rate {rate} exceeds window {window}");
+                    }
+                }
+            }
+
+            #[test]
+            fn no_host_nic_oversubscribed(flows in arb_flows()) {
+                let sim = sim3();
+                let rates = sim.allocate_rates(&flows);
+                for h in 0..3 {
+                    let egress: f64 = flows
+                        .iter()
+                        .zip(&rates)
+                        .filter(|(f, _)| f.src == DcId(h) && f.src != f.dst)
+                        .map(|(_, &r)| r)
+                        .sum();
+                    let cap = sim.topology().dc(DcId(h)).egress_cap_mbps();
+                    prop_assert!(egress <= cap + 1e-6,
+                        "host {h} egress {egress} exceeds NIC {cap}");
+                }
+            }
+
+            #[test]
+            fn transfers_conserve_payload(
+                payloads in proptest::collection::vec(0.0f64..5.0, 3),
+            ) {
+                let mut sim = sim3();
+                let transfers: Vec<Transfer> = payloads
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &gb)| Transfer::new(DcId(k % 3), DcId((k + 1) % 3), gb))
+                    .collect();
+                let conns = ConnMatrix::filled(3, 2);
+                let report = sim.run_transfers(&transfers, &conns, None);
+                let moved: f64 = report.egress_gigabits.iter().sum();
+                let requested: f64 = payloads.iter().sum();
+                prop_assert!((moved - requested).abs() < 1e-6,
+                    "moved {moved} Gb vs requested {requested} Gb");
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let run = || {
+            let topo = Topology::builder()
+                .dc(Region::UsEast, VmType::t3_nano(), 1)
+                .dc(Region::EuWest, VmType::t3_nano(), 1)
+                .build()
+                .unwrap();
+            let mut sim = NetSim::new(topo, LinkModelParams::default(), 99);
+            let conns = ConnMatrix::filled(2, 2);
+            sim.run_transfers(&[Transfer::new(DcId(0), DcId(1), 3.0)], &conns, None).makespan_s
+        };
+        assert_eq!(run(), run());
+    }
+}

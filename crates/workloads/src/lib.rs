@@ -1,0 +1,24 @@
+//! # wanify-workloads
+//!
+//! Calibrated models of the workloads the WANify paper evaluates (§5.1):
+//!
+//! * [`terasort`] — TeraSort, the shuffle-heavy sort benchmark used for the
+//!   parallel-data-transfer comparisons (Fig. 5);
+//! * [`wordcount`] — WordCount with controllable intermediate data size
+//!   (all-distinct words, Fig. 6) and block-level skew (Fig. 10);
+//! * [`tpcds`] — TPC-DS query profiles for queries 82 (light-weight), 95
+//!   and 11 (average-weight) and 78 (heavy-weight) (Table 4, Figs. 7-8);
+//! * [`quantization`] — an SAGQ-style geo-distributed ML training loop
+//!   whose gradient precision adapts to believed bandwidth (Fig. 4).
+//!
+//! Each model captures the *shape* that drives WAN behaviour — stage
+//! structure, shuffle volume per DC pair and compute/network balance — not
+//! the byte-exact semantics of the original programs.
+
+pub mod quantization;
+pub mod terasort;
+pub mod tpcds;
+pub mod wordcount;
+
+pub use quantization::{QuantConfig, QuantPolicy, TrainingReport};
+pub use tpcds::TpcDsQuery;

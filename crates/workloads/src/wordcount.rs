@@ -1,0 +1,91 @@
+//! WordCount with controllable intermediate data and skew.
+//!
+//! The paper controls the shuffle volume by generating inputs of all
+//! distinct words (§5.3.2: the Python generator) and controls skew by
+//! moving HDFS blocks into four regions (§5.8.1).
+
+use wanify_gda::{DataLayout, JobProfile, StageProfile};
+
+/// vCPU-seconds per GB for tokenize+count map.
+const MAP_COMPUTE_S_PER_GB: f64 = 2.5;
+/// vCPU-seconds per GB for the final aggregation.
+const REDUCE_COMPUTE_S_PER_GB: f64 = 1.0;
+
+/// Builds a WordCount whose map stage emits exactly `intermediate_mb` of
+/// shuffle data from `input_mb` of input spread over `layout`.
+///
+/// # Panics
+///
+/// Panics if `input_mb <= 0`.
+pub fn job_with_intermediate(layout: DataLayout, intermediate_mb: f64) -> JobProfile {
+    let input_mb = layout.total_gb() * 1024.0;
+    assert!(input_mb > 0.0, "wordcount needs a non-empty input");
+    let selectivity = (intermediate_mb / input_mb).max(0.0);
+    JobProfile::new(
+        "wordcount",
+        layout,
+        vec![
+            StageProfile::shuffling("tokenize-map", selectivity, MAP_COMPUTE_S_PER_GB),
+            StageProfile::terminal("count-reduce", 0.2, REDUCE_COMPUTE_S_PER_GB),
+        ],
+    )
+}
+
+/// The Fig. 6 sweep: `input_mb` of all-distinct words over `n` DCs,
+/// with the observed intermediate size from the paper's x-axis.
+pub fn sweep_job(n_dcs: usize, input_mb: f64, intermediate_mb: f64) -> JobProfile {
+    job_with_intermediate(DataLayout::uniform(n_dcs, input_mb / 1024.0), intermediate_mb)
+}
+
+/// The Fig. 10 skewed layout: 600 MB total with block mass concentrated in
+/// the four named regions (US East, US West, AP South, AP SE = DCs 0-3 of
+/// the paper testbed), leaving the rest nearly empty.
+///
+/// # Panics
+///
+/// Panics if `n_dcs < 4`.
+pub fn skewed_layout(n_dcs: usize, total_mb: f64) -> DataLayout {
+    assert!(n_dcs >= 4, "the skew experiment concentrates data in 4 DCs");
+    let mut layout = DataLayout::uniform(n_dcs, total_mb / 1024.0);
+    // Move everything from DCs 4.. into DCs 0-3 round-robin, emulating the
+    // paper's HDFS block moves.
+    for from in 4..n_dcs {
+        let blocks = layout.blocks_per_dc[from];
+        layout.move_blocks(from, from % 4, blocks);
+    }
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intermediate_size_is_respected() {
+        let j = sweep_job(8, 300.0, 7.4);
+        let shuffle_mb = j.estimated_shuffle_gb() * 1024.0;
+        assert!((shuffle_mb - 7.4).abs() < 0.5, "got {shuffle_mb} MB");
+    }
+
+    #[test]
+    fn zero_intermediate_allowed() {
+        let j = sweep_job(4, 100.0, 0.0);
+        assert_eq!(j.estimated_shuffle_gb(), 0.0);
+    }
+
+    #[test]
+    fn skewed_layout_concentrates_in_first_four_dcs() {
+        let l = skewed_layout(8, 600.0);
+        let w = l.skew_weights();
+        let head: f64 = w[..4].iter().sum();
+        assert!(head > 0.99, "all mass in DCs 0-3, got {w:?}");
+        assert!(l.skewness() > 0.1);
+        assert!((l.total_gb() * 1024.0 - 600.0).abs() < 64.1, "mass conserved");
+    }
+
+    #[test]
+    #[should_panic]
+    fn skew_needs_four_dcs() {
+        let _ = skewed_layout(3, 600.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! TPC-DS scheduling under different bandwidth beliefs (paper §5.2, §5.4).
+//!
+//! Shows how the quality of the bandwidth matrix fed to a WAN-aware
+//! scheduler (Tetrium or Kimchi) changes real query latency: the scheduler
+//! plans with its belief, but the shuffle runs on the simulated WAN where
+//! runtime contention applies.
+//!
+//! ```text
+//! cargo run --release -p wanify-experiments --example tpcds_scheduling [q82|q95|q11|q78]
+//! ```
+
+use wanify_experiments::common::{run_wanified, Effort, ExpEnv, WanifyMode};
+use wanify_gda::{run_job, Kimchi, Scheduler, Tetrium, TransferOptions};
+use wanify_workloads::TpcDsQuery;
+
+fn main() {
+    let query = match std::env::args().nth(1).as_deref() {
+        Some("q82") => TpcDsQuery::Q82,
+        Some("q95") => TpcDsQuery::Q95,
+        Some("q11") => TpcDsQuery::Q11,
+        _ => TpcDsQuery::Q78,
+    };
+    println!("TPC-DS {query} (25 GB input) on 8 geo-distributed DCs\n");
+
+    let env = ExpEnv::new(8, Effort::Quick, 17);
+    let job = query.job(8, 25.0);
+    let schedulers: Vec<Box<dyn Scheduler>> =
+        vec![Box::new(Tetrium::new()), Box::new(Kimchi::new())];
+
+    for sched in &schedulers {
+        println!("--- scheduler: {} ---", sched.name());
+        for belief_name in ["static-independent", "static-simultaneous", "predicted"] {
+            let mut sim = env.sim(5);
+            let belief = match belief_name {
+                "static-independent" => env.static_independent(&mut sim),
+                "static-simultaneous" => env.static_simultaneous(&mut sim),
+                _ => env.predicted(&mut sim),
+            };
+            let report =
+                run_job(&mut sim, &job, sched.as_ref(), &belief, TransferOptions::default());
+            println!(
+                "  {belief_name:<22} latency {:>6.1}s  cost {}",
+                report.latency_s, report.cost
+            );
+        }
+        // And the full WANify treatment on top of the predicted belief.
+        let mut sim = env.sim(5);
+        let predicted = env.predicted(&mut sim);
+        let wanified =
+            run_wanified(&mut sim, &job, sched.as_ref(), &predicted, WanifyMode::full(), None);
+        println!(
+            "  {:<22} latency {:>6.1}s  cost {}  (min BW {:.0} Mbps)\n",
+            "predicted + WANify",
+            wanified.latency_s,
+            wanified.cost,
+            wanified.min_bw_mbps
+        );
+    }
+}

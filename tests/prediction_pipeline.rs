@@ -1,0 +1,104 @@
+//! Integration of the prediction stack: analyzer → dataset → forest →
+//! matrix prediction → staleness → warm-start retraining.
+
+use wanify::features::FEATURE_COUNT;
+use wanify::{BandwidthAnalyzer, WanPredictionModel};
+use wanify_forest::{Dataset, ForestParams, RandomForest};
+use wanify_netsim::{paper_testbed_n, ConnMatrix, LinkModelParams, NetSim, VmType};
+
+fn analyzer(samples: usize) -> BandwidthAnalyzer {
+    BandwidthAnalyzer {
+        vm: VmType::t2_medium(),
+        params: LinkModelParams::default(),
+        samples_per_size: samples,
+    }
+}
+
+/// The analyzer produces one row per directed pair per sample, with the
+/// Table-3 feature arity.
+#[test]
+fn analyzer_dataset_shape() {
+    let data = analyzer(5).collect(&[3, 4], 1);
+    // 5 samples × (3·2 + 4·3) pairs.
+    assert_eq!(data.len(), 5 * (6 + 12));
+    assert_eq!(data.n_features(), FEATURE_COUNT);
+    // Targets are plausible bandwidths.
+    for (_, y) in data.iter() {
+        assert!((0.0..20_000.0).contains(&y), "target {y} out of range");
+    }
+}
+
+/// Prediction error against live runtime measurements stays in the same
+/// band as the paper's accuracy claims (high 90s training, errors small
+/// relative to static probing).
+#[test]
+fn prediction_error_small_relative_to_static() {
+    let data = analyzer(40).collect(&[4], 2);
+    let model = WanPredictionModel::train(&data, 40, 3);
+    assert!(model.training_accuracy(&data) > 88.0);
+
+    let mut sim =
+        NetSim::new(paper_testbed_n(VmType::t2_medium(), 4), LinkModelParams::default(), 77);
+    let mut pred_wins = 0;
+    let rounds = 6;
+    for _ in 0..rounds {
+        sim.shuffle_time();
+        let static_bw = sim.measure_static_independent();
+        let snapshot = sim.snapshot(&ConnMatrix::filled(4, 1));
+        let predicted = model.predict_matrix(&snapshot, sim.topology()).unwrap();
+        let runtime = sim.measure_runtime(&ConnMatrix::filled(4, 1), 20).bw;
+        let err = |m: &wanify_netsim::BwMatrix| -> f64 {
+            m.iter_pairs().map(|(i, j, v)| (v - runtime.get(i, j)).abs()).sum()
+        };
+        if err(&predicted) < err(&static_bw) {
+            pred_wins += 1;
+        }
+    }
+    assert!(
+        pred_wins >= rounds - 1,
+        "prediction should beat static probing almost always, won {pred_wins}/{rounds}"
+    );
+}
+
+/// The staleness loop closes: drift flags retraining, warm start absorbs
+/// fresh data, the flag clears, and accuracy on the new regime improves.
+#[test]
+fn staleness_retraining_loop() {
+    let old = analyzer(20).collect(&[4], 4);
+    let mut model = WanPredictionModel::train(&old, 25, 5);
+
+    // A "new regime": same topology, different era of training data.
+    let new_data = analyzer(20).collect(&[4], 999);
+    let predicted = wanify_netsim::BwMatrix::filled(4, 100.0);
+    let actual = wanify_netsim::BwMatrix::filled(4, 900.0);
+    model.record_error(&predicted, &actual);
+    assert!(model.needs_retraining());
+
+    let before_trees = model.n_trees();
+    let mut merged = old.clone();
+    merged.extend_from(&new_data).unwrap();
+    model.retrain(&merged, 25);
+    assert!(!model.needs_retraining());
+    assert_eq!(model.n_trees(), before_trees + 25);
+    assert!(model.training_accuracy(&merged) > 85.0);
+}
+
+/// Forest-level sanity on analyzer data: out-of-bag error is finite and
+/// in the bandwidth scale, and deeper ensembles do not get worse.
+#[test]
+fn forest_quality_scales_with_ensemble_size() {
+    let data: Dataset = analyzer(25).collect(&[4], 6);
+    let small = RandomForest::fit(
+        &data,
+        &ForestParams { n_estimators: 5, ..ForestParams::default() },
+        7,
+    );
+    let large = RandomForest::fit(
+        &data,
+        &ForestParams { n_estimators: 50, ..ForestParams::default() },
+        7,
+    );
+    let small_oob = small.oob_mae(&data).unwrap();
+    let large_oob = large.oob_mae(&data).unwrap();
+    assert!(large_oob <= small_oob * 1.1, "50 trees ({large_oob}) vs 5 ({small_oob})");
+}
