@@ -12,7 +12,9 @@ fn bench(c: &mut Criterion) {
     println!("{}", fig10::run(Effort::Quick, 42).render());
     let mut group = c.benchmark_group("fig10");
     group.sample_size(10);
-    group.bench_function("skewed_wordcount", |b| b.iter(|| fig10::run(Effort::Quick, black_box(42))));
+    group.bench_function("skewed_wordcount", |b| {
+        b.iter(|| fig10::run(Effort::Quick, black_box(42)))
+    });
     group.finish();
 }
 

@@ -12,7 +12,9 @@ fn bench(c: &mut Criterion) {
     println!("{}", fig5::run(Effort::Quick, 42).render());
     let mut group = c.benchmark_group("fig5");
     group.sample_size(10);
-    group.bench_function("terasort_four_ways", |b| b.iter(|| fig5::run(Effort::Quick, black_box(42))));
+    group.bench_function("terasort_four_ways", |b| {
+        b.iter(|| fig5::run(Effort::Quick, black_box(42)))
+    });
     group.finish();
 }
 

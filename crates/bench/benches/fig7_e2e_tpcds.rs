@@ -12,7 +12,9 @@ fn bench(c: &mut Criterion) {
     println!("{}", fig7::run(Effort::Quick, 42).render());
     let mut group = c.benchmark_group("fig7");
     group.sample_size(10);
-    group.bench_function("with_without_wanify", |b| b.iter(|| fig7::run(Effort::Quick, black_box(42))));
+    group.bench_function("with_without_wanify", |b| {
+        b.iter(|| fig7::run(Effort::Quick, black_box(42)))
+    });
     group.finish();
 }
 

@@ -12,7 +12,9 @@ fn bench(c: &mut Criterion) {
     println!("{}", model::run(Effort::Quick, 42).render());
     let mut group = c.benchmark_group("model");
     group.sample_size(10);
-    group.bench_function("forest_vs_baselines", |b| b.iter(|| model::run(Effort::Quick, black_box(42))));
+    group.bench_function("forest_vs_baselines", |b| {
+        b.iter(|| model::run(Effort::Quick, black_box(42)))
+    });
     group.finish();
 }
 

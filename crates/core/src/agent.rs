@@ -221,8 +221,7 @@ mod tests {
         let transfers =
             [Transfer::new(DcId(0), DcId(1), 8.0), Transfer::new(DcId(0), DcId(2), 1.0)];
         let _ = s.run_transfers(&transfers, &plan.max_cons, Some(&mut agent));
-        let throttled =
-            s.throttles().iter_pairs().filter(|&(_, _, c)| c.is_finite()).count();
+        let throttled = s.throttles().iter_pairs().filter(|&(_, _, c)| c.is_finite()).count();
         assert!(throttled > 0, "BW-rich nearby links should be capped");
     }
 

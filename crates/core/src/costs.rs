@@ -112,8 +112,7 @@ pub fn table2(params: &MonitoringCostParams) -> Vec<Table2Row> {
 pub fn table2_savings_pct(params: &MonitoringCostParams) -> f64 {
     let rows = table2(params);
     let monitoring: f64 = rows.iter().map(|r| r.runtime_monitoring_usd).sum();
-    let prediction: f64 =
-        rows.iter().map(|r| r.training_usd + r.predictions_usd).sum();
+    let prediction: f64 = rows.iter().map(|r| r.training_usd + r.predictions_usd).sum();
     100.0 * (1.0 - prediction / monitoring)
 }
 

@@ -70,8 +70,7 @@ mod tests {
         let topo = paper_testbed_n(VmType::t2_medium(), 3);
         let mut sim = NetSim::new(topo, LinkModelParams::frozen(), 5);
         let probe = sim.snapshot(&ConnMatrix::filled(3, 1));
-        let fv =
-            FeatureVector::from_probe(&probe, sim.topology(), DcId(0), DcId(2));
+        let fv = FeatureVector::from_probe(&probe, sim.topology(), DcId(0), DcId(2));
         assert_eq!(fv.n_dcs, 3.0);
         assert!(fv.snapshot_bw_mbps > 0.0);
         assert!(fv.distance_miles > 5000.0, "US East → AP South is far");

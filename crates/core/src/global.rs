@@ -170,9 +170,8 @@ pub fn optimize_global(
             max_bw.set(i, j, bw.get(i, j) * f64::from(hi) * pair_rv);
         }
     }
-    let host_egress_mbps: Vec<f64> = (0..n)
-        .map(|i| (0..n).filter(|&j| j != i).map(|j| bw.get(i, j)).sum())
-        .collect();
+    let host_egress_mbps: Vec<f64> =
+        (0..n).map(|i| (0..n).filter(|&j| j != i).map(|j| bw.get(i, j)).sum()).collect();
     Ok(GlobalPlan { min_cons, max_cons, min_bw, max_bw, host_egress_mbps })
 }
 

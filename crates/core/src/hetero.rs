@@ -24,8 +24,7 @@ const CROSS_PROVIDER_RVEC: f64 = 0.8;
 /// paper specifies.
 pub fn refactoring_vector(topo: &Topology) -> Vec<f64> {
     let aws_count = topo.iter().filter(|(_, dc)| dc.region.provider() == Provider::Aws).count();
-    let majority =
-        if aws_count * 2 >= topo.len() { Provider::Aws } else { Provider::Gcp };
+    let majority = if aws_count * 2 >= topo.len() { Provider::Aws } else { Provider::Gcp };
     topo.iter()
         .map(|(_, dc)| if dc.region.provider() == majority { 1.0 } else { CROSS_PROVIDER_RVEC })
         .collect()

@@ -11,8 +11,9 @@ use crate::agent::WanifyAgent;
 use crate::error::WanifyError;
 use crate::global::{optimize_global, GlobalPlan};
 use crate::relations::{infer_dc_relations, DcRelations};
+use crate::source::BandwidthSource;
 use crate::throttle::throttle_caps_masked;
-use wanify_netsim::{BwMatrix, ConnMatrix, Grid};
+use wanify_netsim::{BwMatrix, ConnMatrix, Grid, NetSim};
 
 /// Configuration of the WANify pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,25 +106,44 @@ impl Wanify {
         &self.config
     }
 
-    /// Runs Algorithm 1 + global optimization on a predicted runtime
-    /// bandwidth matrix.
+    /// Gauges `net` through any [`BandwidthSource`] and plans from the
+    /// result — the provenance-agnostic entry point of the pipeline.
+    ///
+    /// The source decides *how* bandwidth is obtained (static probe,
+    /// fresh measurement, model prediction, replay); planning is
+    /// identical for all of them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WanifyError`] when gauging fails or the configuration is
+    /// inconsistent with the gauged matrix.
+    pub fn plan<S: BandwidthSource + ?Sized>(
+        &self,
+        source: &mut S,
+        net: &mut NetSim,
+    ) -> Result<WanifyPlan, WanifyError> {
+        let bw = source.gauge(net)?;
+        self.try_plan_matrix(&bw)
+    }
+
+    /// Runs Algorithm 1 + global optimization on an already-gauged
+    /// bandwidth matrix (the low-level step behind [`Wanify::plan`]).
     ///
     /// # Panics
     ///
     /// Panics if configured skew/rvec vectors mismatch the matrix size —
-    /// use [`Wanify::try_plan`] for a fallible variant.
-    pub fn plan(&self, predicted_bw: &BwMatrix) -> WanifyPlan {
-        self.try_plan(predicted_bw).expect("configuration consistent with matrix size")
+    /// use [`Wanify::try_plan_matrix`] for a fallible variant.
+    pub fn plan_matrix(&self, predicted_bw: &BwMatrix) -> WanifyPlan {
+        self.try_plan_matrix(predicted_bw).expect("configuration consistent with matrix size")
     }
 
-    /// Fallible version of [`Wanify::plan`].
+    /// Fallible version of [`Wanify::plan_matrix`].
     ///
     /// # Errors
     ///
     /// Returns [`WanifyError`] on dimension mismatches or invalid config.
-    pub fn try_plan(&self, predicted_bw: &BwMatrix) -> Result<WanifyPlan, WanifyError> {
-        let relations =
-            infer_dc_relations(predicted_bw, self.config.relation_min_diff_mbps)?;
+    pub fn try_plan_matrix(&self, predicted_bw: &BwMatrix) -> Result<WanifyPlan, WanifyError> {
+        let relations = infer_dc_relations(predicted_bw, self.config.relation_min_diff_mbps)?;
         let global = optimize_global(
             predicted_bw,
             &relations,
@@ -142,12 +162,8 @@ impl Wanify {
 
     /// Spawns the local-agent fleet for a plan.
     pub fn agent(&self, plan: &WanifyPlan) -> WanifyAgent {
-        WanifyAgent::with_options(
-            &plan.global,
-            self.config.aimd_interval_s,
-            self.config.throttling,
-        )
-        .with_relations(plan.relations.clone())
+        WanifyAgent::with_options(&plan.global, self.config.aimd_interval_s, self.config.throttling)
+            .with_relations(plan.relations.clone())
     }
 }
 
@@ -156,15 +172,12 @@ mod tests {
     use super::*;
 
     fn bw3() -> BwMatrix {
-        BwMatrix::from_rows(
-            3,
-            vec![0.0, 400.0, 120.0, 380.0, 0.0, 130.0, 110.0, 120.0, 0.0],
-        )
+        BwMatrix::from_rows(3, vec![0.0, 400.0, 120.0, 380.0, 0.0, 130.0, 110.0, 120.0, 0.0])
     }
 
     #[test]
     fn plan_produces_heterogeneous_connections() {
-        let plan = Wanify::new(WanifyConfig::default()).plan(&bw3());
+        let plan = Wanify::new(WanifyConfig::default()).plan_matrix(&bw3());
         let weak = plan.max_cons.get(0, 2); // 120 Mbps link
         let strong = plan.max_cons.get(0, 1); // 400 Mbps link
         assert!(weak > strong, "distant pair gets more connections: {weak} vs {strong}");
@@ -172,16 +185,16 @@ mod tests {
 
     #[test]
     fn throttling_toggle_controls_initial_caps() {
-        let on = Wanify::new(WanifyConfig::default()).plan(&bw3());
+        let on = Wanify::new(WanifyConfig::default()).plan_matrix(&bw3());
         assert!(on.initial_throttles.iter_pairs().any(|(_, _, c)| c.is_finite()));
         let off = Wanify::new(WanifyConfig { throttling: false, ..WanifyConfig::default() })
-            .plan(&bw3());
+            .plan_matrix(&bw3());
         assert!(off.initial_throttles.iter_pairs().all(|(_, _, c)| c.is_infinite()));
     }
 
     #[test]
     fn achievable_bw_scales_with_connections() {
-        let plan = Wanify::new(WanifyConfig::default()).plan(&bw3());
+        let plan = Wanify::new(WanifyConfig::default()).plan_matrix(&bw3());
         let c = plan.max_cons.get(0, 2);
         assert!((plan.achievable_bw().get(0, 2) - 120.0 * f64::from(c)).abs() < 1e-9);
     }
@@ -192,24 +205,43 @@ mod tests {
             skew_weights: Some(vec![0.5, 0.5]),
             ..WanifyConfig::default()
         });
-        assert!(matches!(
-            w.try_plan(&bw3()),
-            Err(WanifyError::DimensionMismatch { .. })
-        ));
+        assert!(matches!(w.try_plan_matrix(&bw3()), Err(WanifyError::DimensionMismatch { .. })));
     }
 
     #[test]
     fn agent_respects_config_interval() {
         let config = WanifyConfig { aimd_interval_s: 2.5, ..WanifyConfig::default() };
         let wanify = Wanify::new(config);
-        let plan = wanify.plan(&bw3());
+        let plan = wanify.plan_matrix(&bw3());
         let agent = wanify.agent(&plan);
         assert_eq!(agent.updates(), 0);
     }
 
     #[test]
     fn initial_conns_equal_window_maximum() {
-        let plan = Wanify::new(WanifyConfig::default()).plan(&bw3());
+        let plan = Wanify::new(WanifyConfig::default()).plan_matrix(&bw3());
         assert_eq!(plan.initial_conns(), &plan.global.max_cons);
+    }
+
+    #[test]
+    fn plan_accepts_any_bandwidth_source() {
+        use crate::source::{MeasuredRuntime, Pregauged};
+        use wanify_netsim::{paper_testbed_n, LinkModelParams, VmType};
+
+        let wanify = Wanify::new(WanifyConfig::default());
+        let mut net =
+            NetSim::new(paper_testbed_n(VmType::t3_nano(), 3), LinkModelParams::default(), 3);
+
+        // A measuring source and a replayed matrix go through the same API.
+        let measured = wanify.plan(&mut MeasuredRuntime::default(), &mut net).unwrap();
+        assert_eq!(measured.max_cons.len(), 3);
+
+        let mut replay = Pregauged::from(bw3());
+        let replayed = wanify.plan(&mut replay, &mut net).unwrap();
+        assert_eq!(replayed, wanify.plan_matrix(&bw3()), "replay matches matrix-level planning");
+
+        // Trait objects work too (dyn BandwidthSource).
+        let dynamic: &mut dyn BandwidthSource = &mut replay;
+        assert_eq!(wanify.plan(dynamic, &mut net).unwrap(), replayed);
     }
 }

@@ -23,20 +23,27 @@
 //! facade bundles the whole pipeline behind the "WANify Interface" of the
 //! paper's architecture (Fig. 3).
 //!
+//! Bandwidth *provenance* is decoupled from bandwidth *consumers* through
+//! the [`source::BandwidthSource`] trait: planning and scheduling accept
+//! any source — statically measured, runtime-measured or model-predicted —
+//! through one interface, which is exactly the coupling §2.2 argues
+//! against in existing systems.
+//!
 //! ## Quick example
 //!
 //! ```
-//! use wanify::{Wanify, WanifyConfig};
-//! use wanify_netsim::{paper_testbed_n, ConnMatrix, LinkModelParams, NetSim, VmType};
+//! use wanify::{MeasuredRuntime, Wanify, WanifyConfig};
+//! use wanify_netsim::{paper_testbed_n, LinkModelParams, NetSim, VmType};
 //!
 //! let topo = paper_testbed_n(VmType::t2_medium(), 4);
-//! let mut sim = NetSim::new(topo, LinkModelParams::default(), 7);
-//! // Gauge runtime bandwidth (here: measured; in production: predicted).
-//! let runtime_bw = sim.measure_runtime(&ConnMatrix::filled(4, 1), 20).bw;
-//! // Plan heterogeneous connections that lift the weakest links.
+//! let mut net = NetSim::new(topo, LinkModelParams::default(), 7);
+//! // Gauge runtime bandwidth through any BandwidthSource (here: a live
+//! // measurement; in production: the trained PredictedRuntime model) and
+//! // plan heterogeneous connections that lift the weakest links.
 //! let wanify = Wanify::new(WanifyConfig::default());
-//! let plan = wanify.plan(&runtime_bw);
+//! let plan = wanify.plan(&mut MeasuredRuntime::default(), &mut net)?;
 //! assert!(plan.max_cons.iter_pairs().any(|(_, _, c)| c > 1));
+//! # Ok::<(), wanify::WanifyError>(())
 //! ```
 
 pub mod agent;
@@ -49,6 +56,7 @@ pub mod interface;
 pub mod local;
 pub mod predictor;
 pub mod relations;
+pub mod source;
 pub mod throttle;
 
 pub use agent::WanifyAgent;
@@ -60,4 +68,8 @@ pub use interface::{Wanify, WanifyConfig, WanifyPlan};
 pub use local::{AimdMode, LocalOptimizer};
 pub use predictor::{BandwidthAnalyzer, WanPredictionModel};
 pub use relations::{infer_dc_relations, DcRelations};
+pub use source::{
+    BandwidthSource, MeasuredRuntime, PredictedRuntime, Pregauged, StaticIndependent,
+    StaticSimultaneous,
+};
 pub use throttle::{throttle_caps, throttle_caps_clamped, throttle_caps_masked};

@@ -66,8 +66,7 @@ impl LocalOptimizer {
         let host = plan.host_egress_mbps.get(src).copied().unwrap_or(f64::INFINITY);
         let feas = if row_sum > 0.0 && host.is_finite() { (host / row_sum).min(1.0) } else { 1.0 };
         let max_bw: Vec<f64> = (0..n).map(|j| plan.max_bw.get(src, j) * feas).collect();
-        let min_bw: Vec<f64> =
-            (0..n).map(|j| plan.min_bw.get(src, j).min(max_bw[j])).collect();
+        let min_bw: Vec<f64> = (0..n).map(|j| plan.min_bw.get(src, j).min(max_bw[j])).collect();
         let mut o = Self {
             src,
             min_cons: (0..n).map(|j| plan.min_cons.get(src, j)).collect(),

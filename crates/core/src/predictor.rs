@@ -37,11 +37,7 @@ pub struct BandwidthAnalyzer {
 impl BandwidthAnalyzer {
     /// Creates an analyzer with the paper's probe fleet.
     pub fn new(samples_per_size: usize) -> Self {
-        Self {
-            vm: VmType::t3_nano(),
-            params: LinkModelParams::default(),
-            samples_per_size,
-        }
+        Self { vm: VmType::t3_nano(), params: LinkModelParams::default(), samples_per_size }
     }
 
     /// Collects a dataset over the given cluster sizes (each in `2..=8`).
@@ -271,11 +267,8 @@ mod tests {
     fn predict_matrix_checks_dimensions() {
         let (model, _) = trained(6, &[3]);
         let topo = paper_testbed_n(VmType::t3_nano(), 4);
-        let mut sim3 = NetSim::new(
-            paper_testbed_n(VmType::t3_nano(), 3),
-            LinkModelParams::default(),
-            1,
-        );
+        let mut sim3 =
+            NetSim::new(paper_testbed_n(VmType::t3_nano(), 3), LinkModelParams::default(), 1);
         let probe3 = sim3.snapshot(&ConnMatrix::filled(3, 1));
         assert!(matches!(
             model.predict_matrix(&probe3, &topo),

@@ -151,6 +151,47 @@ mod tests {
     }
 
     #[test]
+    fn ties_exactly_at_min_diff_stay_separate_levels() {
+        // Algorithm 1 merges levels *strictly* closer than D; a gap of
+        // exactly D is significant and must keep its own class.
+        let bw =
+            BwMatrix::from_rows(3, vec![0.0, 400.0, 430.0, 400.0, 0.0, 430.0, 400.0, 430.0, 0.0]);
+        let exactly_d = infer_dc_relations(&bw, 30.0).unwrap();
+        assert_ne!(
+            exactly_d.get(0, 1),
+            exactly_d.get(0, 2),
+            "a 30 Mbps gap at D=30 is significant and must not merge"
+        );
+        // One epsilon wider and the same pair of levels merges.
+        let merged = infer_dc_relations(&bw, 30.0 + 1e-9).unwrap();
+        assert_eq!(merged.get(0, 1), merged.get(0, 2));
+    }
+
+    #[test]
+    fn chained_ties_merge_pairwise_not_transitively() {
+        // Levels {100, 125, 150} with D = 30: the reverse traversal merges
+        // 150 into 125's class, then 125 into 100's — the paper's greedy
+        // chain collapse, leaving one WAN class plus the diagonal.
+        let bw =
+            BwMatrix::from_rows(3, vec![0.0, 100.0, 125.0, 100.0, 0.0, 150.0, 125.0, 150.0, 0.0]);
+        let rel = infer_dc_relations(&bw, 30.0).unwrap();
+        assert_eq!(rel.get(0, 1), rel.get(0, 2));
+        assert_eq!(rel.get(0, 2), rel.get(1, 2));
+        assert!(rel.get(0, 1) > rel.get(0, 0), "WAN class stays above the diagonal class");
+    }
+
+    #[test]
+    fn zero_diff_duplicate_levels_dedup_into_one_class() {
+        // Identical bandwidths are one level even with D = 0.
+        let bw =
+            BwMatrix::from_rows(3, vec![0.0, 500.0, 500.0, 500.0, 0.0, 500.0, 500.0, 500.0, 0.0]);
+        let rel = infer_dc_relations(&bw, 0.0).unwrap();
+        let classes: std::collections::BTreeSet<u32> =
+            rel.iter_pairs().map(|(_, _, v)| v).collect();
+        assert_eq!(classes.len(), 1);
+    }
+
+    #[test]
     fn nearest_level_boundaries() {
         let levels = [110.0, 380.0, 1000.0];
         assert_eq!(nearest_level(&levels, 50.0), 0);

@@ -39,8 +39,7 @@ pub fn throttle_caps_clamped(achievable_bw: &BwMatrix, host_egress_mbps: &[f64])
     assert_eq!(host_egress_mbps.len(), n, "one egress estimate per host required");
     let factor: Vec<f64> = (0..n)
         .map(|i| {
-            let row_sum: f64 =
-                (0..n).filter(|&j| j != i).map(|j| achievable_bw.get(i, j)).sum();
+            let row_sum: f64 = (0..n).filter(|&j| j != i).map(|j| achievable_bw.get(i, j)).sum();
             if row_sum > 0.0 && host_egress_mbps[i].is_finite() {
                 (host_egress_mbps[i] / row_sum).min(1.0)
             } else {
@@ -105,10 +104,7 @@ mod tests {
     use super::*;
 
     fn bw() -> BwMatrix {
-        BwMatrix::from_rows(
-            3,
-            vec![0.0, 1600.0, 200.0, 1600.0, 0.0, 300.0, 200.0, 300.0, 0.0],
-        )
+        BwMatrix::from_rows(3, vec![0.0, 1600.0, 200.0, 1600.0, 0.0, 300.0, 200.0, 300.0, 0.0])
     }
 
     #[test]
@@ -142,5 +138,68 @@ mod tests {
         // Row 1 mean = (1600+300)/2 = 950.
         assert!((caps.get(1, 0) - 950.0).abs() < 1e-9);
         assert_eq!(caps.get(1, 2), f64::INFINITY);
+    }
+
+    #[test]
+    fn empty_matrix_yields_empty_caps() {
+        let empty = BwMatrix::new(0);
+        assert!(throttle_caps(&empty).is_empty());
+        assert!(throttle_caps_clamped(&empty, &[]).is_empty());
+        let relations = crate::relations::DcRelations::new(0);
+        assert!(throttle_caps_masked(&empty, &[], &relations).is_empty());
+    }
+
+    #[test]
+    fn single_dc_has_no_throttleable_pairs() {
+        let one = BwMatrix::filled(1, 0.0);
+        let caps = throttle_caps(&one);
+        assert_eq!(caps.get(0, 0), f64::INFINITY, "intra-DC is never capped");
+        let clamped = throttle_caps_clamped(&one, &[500.0]);
+        assert_eq!(clamped.get(0, 0), f64::INFINITY);
+        // Masked variant must not panic hunting for a closest *other* DC.
+        let relations = crate::relations::DcRelations::filled(1, 1);
+        let masked = throttle_caps_masked(&one, &[500.0], &relations);
+        assert_eq!(masked.get(0, 0), f64::INFINITY);
+    }
+
+    #[test]
+    fn infinite_host_egress_never_scales_rows() {
+        // All-infinite host estimates: clamped must equal the unclamped
+        // caps (scale factor 1 everywhere), not poison thresholds with NaN
+        // or infinity.
+        let hosts = vec![f64::INFINITY; 3];
+        let clamped = throttle_caps_clamped(&bw(), &hosts);
+        let unclamped = throttle_caps(&bw());
+        for (i, j, cap) in unclamped.iter_pairs() {
+            assert_eq!(clamped.get(i, j), cap, "({i},{j})");
+            assert!(!clamped.get(i, j).is_nan());
+        }
+    }
+
+    #[test]
+    fn zero_bandwidth_rows_stay_uncapped() {
+        // A dead region (all-zero row) has threshold 0 and no cell above
+        // it: nothing to throttle, and no NaN from the 0/0 rescale.
+        let mut dead = bw();
+        for j in 0..3 {
+            dead.set(2, j, 0.0);
+        }
+        let caps = throttle_caps_clamped(&dead, &[1000.0, 1000.0, 1000.0]);
+        assert_eq!(caps.get(2, 0), f64::INFINITY);
+        assert_eq!(caps.get(2, 1), f64::INFINITY);
+        assert!(caps.iter_pairs().all(|(_, _, c)| !c.is_nan()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn clamped_rejects_mismatched_host_vector() {
+        let _ = throttle_caps_clamped(&bw(), &[1000.0, 1000.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn masked_rejects_mismatched_relations() {
+        let relations = crate::relations::DcRelations::filled(2, 1);
+        let _ = throttle_caps_masked(&bw(), &[1e3, 1e3, 1e3], &relations);
     }
 }

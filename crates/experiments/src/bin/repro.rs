@@ -33,8 +33,8 @@ fn main() {
         usage("no experiment id given");
     }
     let all = [
-        "table1", "table2", "fig2", "table4", "fig4", "fig5", "fig6", "fig7", "fig8",
-        "fig9", "fig10", "fig11", "sec583", "model",
+        "table1", "table2", "fig2", "table4", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+        "fig10", "fig11", "sec583", "model",
     ];
     let selected: Vec<&str> = if ids.iter().any(|i| i == "all") {
         all.to_vec()

@@ -1,10 +1,19 @@
-//! Shared experiment infrastructure: environments, beliefs and rendering.
+//! Shared experiment infrastructure: environments, bandwidth beliefs and
+//! rendering.
+//!
+//! Every figure/table driver used to hand-roll its own measure/predict
+//! setup; they now share one harness built on the
+//! [`BandwidthSource`] abstraction: [`ExpEnv::source`] produces the §5.2
+//! beliefs as sources, [`ExpEnv::run_baseline`] runs a job on any belief,
+//! and [`ExpEnv::compare`] performs the canonical baseline-vs-WANify
+//! experiment that fig2/fig5/fig6/fig7/fig8 all reduce to.
 
-use wanify::{BandwidthAnalyzer, Wanify, WanifyConfig, WanifyPlan, WanPredictionModel};
-use wanify_gda::{run_job, JobProfile, QueryReport, Scheduler, TransferOptions};
-use wanify_netsim::{
-    paper_testbed_n, BwMatrix, ConnMatrix, LinkModelParams, NetSim, VmType,
+use wanify::{
+    BandwidthAnalyzer, BandwidthSource, MeasuredRuntime, PredictedRuntime, Pregauged,
+    StaticIndependent, StaticSimultaneous, WanPredictionModel, Wanify, WanifyConfig, WanifyPlan,
 };
+use wanify_gda::{run_job, JobProfile, QueryReport, Scheduler, TransferOptions};
+use wanify_netsim::{paper_testbed_n, BwMatrix, LinkModelParams, NetSim, VmType};
 
 /// How much compute to spend on an experiment.
 ///
@@ -45,6 +54,31 @@ impl Effort {
     }
 }
 
+/// The bandwidth beliefs of §5.2, by provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Belief {
+    /// One pair at a time, measured once (existing systems).
+    StaticIndependent,
+    /// All pairs at once for 20 s, measured once.
+    StaticSimultaneous,
+    /// WANify: fresh snapshot through the trained model per gauge.
+    Predicted,
+    /// Ground truth: fresh stable measurement per gauge.
+    MeasuredRuntime,
+}
+
+impl Belief {
+    /// The provenance label used in tables and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Belief::StaticIndependent => "static-independent",
+            Belief::StaticSimultaneous => "static-simultaneous",
+            Belief::Predicted => "predicted",
+            Belief::MeasuredRuntime => "measured-runtime",
+        }
+    }
+}
+
 /// The standard experiment environment: the 8-DC AWS testbed, a trained
 /// prediction model and the three bandwidth beliefs of §5.2.
 #[derive(Debug)]
@@ -55,8 +89,9 @@ pub struct ExpEnv {
     pub vm: VmType,
     /// Base RNG seed; every run derives from it deterministically.
     pub seed: u64,
-    /// Trained WAN prediction model.
-    pub model: WanPredictionModel,
+    /// Trained WAN prediction model, shared by every predicted source
+    /// built from this environment.
+    pub model: std::sync::Arc<WanPredictionModel>,
     /// Effort level used to build the environment.
     pub effort: Effort,
 }
@@ -72,7 +107,11 @@ impl ExpEnv {
             samples_per_size: effort.samples_per_size(),
         };
         let data = analyzer.collect(&sizes, seed ^ 0xA5A5);
-        let model = WanPredictionModel::train(&data, effort.n_estimators(), seed ^ 0x5A5A);
+        let model = std::sync::Arc::new(WanPredictionModel::train(
+            &data,
+            effort.n_estimators(),
+            seed ^ 0x5A5A,
+        ));
         Self { n, vm: VmType::t2_medium(), seed, model, effort }
     }
 
@@ -85,22 +124,91 @@ impl ExpEnv {
         )
     }
 
-    /// Static-independent belief: one pair at a time (existing systems).
-    pub fn static_independent(&self, sim: &mut NetSim) -> BwMatrix {
-        sim.measure_static_independent()
+    /// Builds a [`BandwidthSource`] for the requested belief.
+    ///
+    /// Predicted beliefs share the environment's trained model; static
+    /// beliefs start cold and cache their first measurement.
+    pub fn source(&self, belief: Belief) -> Box<dyn BandwidthSource> {
+        match belief {
+            Belief::StaticIndependent => Box::new(StaticIndependent::new()),
+            Belief::StaticSimultaneous => Box::new(StaticSimultaneous::default()),
+            Belief::Predicted => Box::new(PredictedRuntime::new(self.model.clone())),
+            Belief::MeasuredRuntime => Box::new(MeasuredRuntime::default()),
+        }
     }
 
-    /// Static-simultaneous belief: all pairs at once, measured for 20 s.
-    pub fn static_simultaneous(&self, sim: &mut NetSim) -> BwMatrix {
-        sim.measure_runtime(&ConnMatrix::filled(self.n, 1), 20).bw
+    /// Gauges one belief matrix from `sim` (a convenience over
+    /// [`ExpEnv::source`] for drivers that need the raw matrix).
+    pub fn gauge(&self, belief: Belief, sim: &mut NetSim) -> BwMatrix {
+        self.source(belief).gauge(sim).expect("environment sources match their topology")
     }
 
-    /// Predicted belief: 1-second snapshot through the trained model.
-    pub fn predicted(&self, sim: &mut NetSim) -> BwMatrix {
-        let snapshot = sim.snapshot(&ConnMatrix::filled(sim.topology().len(), 1));
-        self.model
-            .predict_matrix(&snapshot, sim.topology())
-            .expect("snapshot matches topology")
+    /// Runs `job` under `scheduler` with a plain (non-WANify) transfer
+    /// layer, planning on the given belief.
+    pub fn run_baseline(
+        &self,
+        sim: &mut NetSim,
+        job: &JobProfile,
+        scheduler: &dyn Scheduler,
+        belief: Belief,
+    ) -> QueryReport {
+        run_job(sim, job, scheduler, self.source(belief).as_mut(), TransferOptions::default())
+    }
+
+    /// The canonical experiment: the scheduler as published
+    /// (static-independent belief, single connections) versus the same
+    /// scheduler WANify-enabled (predicted belief, heterogeneous
+    /// connections, agents, throttling per `mode`). Both runs use the same
+    /// derived simulator seed.
+    pub fn compare(
+        &self,
+        job: &JobProfile,
+        scheduler: &dyn Scheduler,
+        run_id: u64,
+        mode: WanifyMode,
+    ) -> WanifyComparison {
+        let mut sim = self.sim(run_id);
+        let baseline = self.run_baseline(&mut sim, job, scheduler, Belief::StaticIndependent);
+        let mut sim = self.sim(run_id);
+        let wanified = run_wanified(
+            &mut sim,
+            job,
+            scheduler,
+            self.source(Belief::Predicted).as_mut(),
+            mode,
+            None,
+        );
+        WanifyComparison { baseline, wanified }
+    }
+}
+
+/// Outcome of [`ExpEnv::compare`].
+#[derive(Debug, Clone)]
+pub struct WanifyComparison {
+    /// The scheduler as published.
+    pub baseline: QueryReport,
+    /// The same scheduler with WANify engaged.
+    pub wanified: QueryReport,
+}
+
+impl WanifyComparison {
+    /// Latency improvement of WANify over the baseline, percent.
+    pub fn latency_pct(&self) -> f64 {
+        improvement_pct(self.baseline.latency_s, self.wanified.latency_s)
+    }
+
+    /// Cost improvement of WANify over the baseline, percent.
+    pub fn cost_pct(&self) -> f64 {
+        improvement_pct(self.baseline.cost.total_usd(), self.wanified.cost.total_usd())
+    }
+
+    /// Minimum-bandwidth ratio (WANify / baseline); 1 when unobserved.
+    pub fn min_bw_ratio(&self) -> f64 {
+        if self.baseline.min_bw_mbps > 0.0 {
+            self.wanified.min_bw_mbps / self.baseline.min_bw_mbps
+        } else {
+            1.0
+        }
     }
 }
 
@@ -137,33 +245,33 @@ impl WanifyMode {
     }
 }
 
-/// Runs `job` under `scheduler` with WANify engaged per `mode`.
+/// Runs `job` under `scheduler` with WANify engaged per `mode`, planning
+/// from any [`BandwidthSource`].
 ///
-/// The scheduler receives WANify's achievable-bandwidth matrix as its
-/// belief; transfers start from the plan's connection matrix and the
-/// agents fine-tune from there.
+/// The source is gauged once; WANify plans on the gauged matrix, the
+/// scheduler receives the plan's feasible achievable-bandwidth belief,
+/// transfers start from the plan's connection matrix and the agents
+/// fine-tune from there.
 pub fn run_wanified(
     sim: &mut NetSim,
     job: &JobProfile,
     scheduler: &dyn Scheduler,
-    predicted_bw: &BwMatrix,
+    source: &mut dyn BandwidthSource,
     mode: WanifyMode,
     skew_weights: Option<Vec<f64>>,
 ) -> QueryReport {
+    let predicted_bw = source.gauge(sim).expect("bandwidth source must match the topology");
     let n = sim.topology().len();
-    let config = WanifyConfig {
-        throttling: mode.throttling,
-        skew_weights,
-        ..WanifyConfig::default()
-    };
+    let config =
+        WanifyConfig { throttling: mode.throttling, skew_weights, ..WanifyConfig::default() };
     let wanify = Wanify::new(config.clone());
     let plan: WanifyPlan = if mode.global {
-        wanify.plan(predicted_bw)
+        wanify.plan_matrix(&predicted_bw)
     } else {
         // Local-only ablation: a flat 1..=M window on every pair, unaware
         // of inferred closeness (paper §5.5).
         let flat = BwMatrix::from_fn(n, |i, j| if i == j { 0.0 } else { 1.0 });
-        let mut plan = wanify.plan(&flat);
+        let mut plan = wanify.plan_matrix(&flat);
         // Achievable BW still derives from the prediction so AIMD targets
         // are meaningful.
         plan.global.max_bw = BwMatrix::from_fn(n, |i, j| {
@@ -186,14 +294,15 @@ pub fn run_wanified(
         }
     }
 
-    let belief = plan.feasible_achievable_bw();
+    let mut belief =
+        Pregauged::named(plan.feasible_achievable_bw(), format!("wanify({})", source.name()));
     let conns = plan.initial_conns().clone();
     let mut agent = wanify.agent(&plan);
     let opts = TransferOptions {
         conns: Some(&conns),
         hook: if mode.local { Some(&mut agent) } else { None },
     };
-    let report = run_job(sim, job, scheduler, &belief, opts);
+    let report = run_job(sim, job, scheduler, &mut belief, opts);
     sim.clear_throttles();
     report
 }
@@ -260,12 +369,14 @@ mod tests {
     fn env_beliefs_have_consistent_shape() {
         let env = ExpEnv::new(4, Effort::Quick, 3);
         let mut sim = env.sim(0);
-        let a = env.static_independent(&mut sim);
-        let b = env.static_simultaneous(&mut sim);
-        let c = env.predicted(&mut sim);
+        let a = env.gauge(Belief::StaticIndependent, &mut sim);
+        let b = env.gauge(Belief::StaticSimultaneous, &mut sim);
+        let c = env.gauge(Belief::Predicted, &mut sim);
+        let d = env.gauge(Belief::MeasuredRuntime, &mut sim);
         assert_eq!(a.len(), 4);
         assert_eq!(b.len(), 4);
         assert_eq!(c.len(), 4);
+        assert_eq!(d.len(), 4);
         assert!(c.max_off_diag() > 0.0);
     }
 
@@ -275,10 +386,7 @@ mod tests {
         let job = JobProfile::new(
             "t",
             DataLayout::uniform(3, 2.0),
-            vec![
-                StageProfile::shuffling("m", 1.0, 1.0),
-                StageProfile::terminal("r", 0.1, 0.5),
-            ],
+            vec![StageProfile::shuffling("m", 1.0, 1.0), StageProfile::terminal("r", 0.1, 0.5)],
         );
         for mode in [
             WanifyMode::full(),
@@ -287,10 +395,42 @@ mod tests {
             WanifyMode::local_only(),
         ] {
             let mut sim = env.sim(1);
-            let predicted = env.predicted(&mut sim);
-            let report =
-                run_wanified(&mut sim, &job, &Tetrium::new(), &predicted, mode, None);
+            let report = run_wanified(
+                &mut sim,
+                &job,
+                &Tetrium::new(),
+                env.source(Belief::Predicted).as_mut(),
+                mode,
+                None,
+            );
             assert!(report.latency_s > 0.0, "{mode:?} must produce a run");
+        }
+    }
+
+    #[test]
+    fn compare_produces_both_arms() {
+        let env = ExpEnv::new(3, Effort::Quick, 8);
+        let job = JobProfile::new(
+            "cmp",
+            DataLayout::uniform(3, 2.0),
+            vec![StageProfile::shuffling("m", 1.0, 1.0), StageProfile::terminal("r", 0.1, 0.5)],
+        );
+        let cmp = env.compare(&job, &Tetrium::new(), 2, WanifyMode::full());
+        assert_eq!(cmp.baseline.belief, "static-independent");
+        assert!(cmp.wanified.belief.starts_with("wanify("));
+        assert!(cmp.min_bw_ratio() > 0.0);
+    }
+
+    #[test]
+    fn belief_labels_match_source_names() {
+        let env = ExpEnv::new(3, Effort::Quick, 9);
+        for belief in [
+            Belief::StaticIndependent,
+            Belief::StaticSimultaneous,
+            Belief::Predicted,
+            Belief::MeasuredRuntime,
+        ] {
+            assert_eq!(env.source(belief).name(), belief.label());
         }
     }
 }

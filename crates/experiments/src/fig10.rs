@@ -7,7 +7,7 @@
 //! improves average latency by 26.5% / 20.3% / 7.1% over Tetrium /
 //! Tetrium-P / Tetrium-WNS, with 1.2-2.1× higher minimum bandwidth.
 
-use crate::common::{render_table, run_wanified, Effort, ExpEnv, WanifyMode};
+use crate::common::{render_table, run_wanified, Belief, Effort, ExpEnv, WanifyMode};
 use wanify_gda::{run_job, JobProfile, Kimchi, Scheduler, Tetrium, TransferOptions};
 use wanify_netsim::ConnMatrix;
 use wanify_workloads::wordcount;
@@ -102,26 +102,18 @@ pub fn run(effort: Effort, seed: u64) -> Fig10 {
         // Single connection on predicted beliefs.
         {
             let mut sim = env.sim(run_id);
-            let belief = env.predicted(&mut sim);
-            let r = run_job(
-                &mut sim,
-                &job,
-                scheduler.as_ref(),
-                &belief,
-                TransferOptions::default(),
-            );
+            let r = env.run_baseline(&mut sim, &job, scheduler.as_ref(), Belief::Predicted);
             rows.push(mk(scheduler.name(), "single", &r));
         }
         // Uniform parallel connections.
         {
             let mut sim = env.sim(run_id);
-            let belief = env.predicted(&mut sim);
             let conns = ConnMatrix::from_fn(env.n, |i, j| if i == j { 1 } else { 8 });
             let r = run_job(
                 &mut sim,
                 &job,
                 scheduler.as_ref(),
-                &belief,
+                env.source(Belief::Predicted).as_mut(),
                 TransferOptions { conns: Some(&conns), hook: None },
             );
             rows.push(mk(scheduler.name(), "uniform-P", &r));
@@ -129,12 +121,11 @@ pub fn run(effort: Effort, seed: u64) -> Fig10 {
         // WANify without skew weights.
         {
             let mut sim = env.sim(run_id);
-            let belief = env.predicted(&mut sim);
             let r = run_wanified(
                 &mut sim,
                 &job,
                 scheduler.as_ref(),
-                &belief,
+                env.source(Belief::Predicted).as_mut(),
                 WanifyMode::full(),
                 None,
             );
@@ -143,12 +134,11 @@ pub fn run(effort: Effort, seed: u64) -> Fig10 {
         // WANify with skew weights from the storage layer.
         {
             let mut sim = env.sim(run_id);
-            let belief = env.predicted(&mut sim);
             let r = run_wanified(
                 &mut sim,
                 &job,
                 scheduler.as_ref(),
-                &belief,
+                env.source(Belief::Predicted).as_mut(),
                 WanifyMode::full(),
                 Some(skew.clone()),
             );

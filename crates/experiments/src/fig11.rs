@@ -7,7 +7,8 @@
 //! paper's claim: predicted beats static everywhere.
 
 use crate::common::{render_table, Effort, ExpEnv};
-use wanify_netsim::{ConnMatrix, DcId};
+use wanify::{BandwidthSource, MeasuredRuntime, PredictedRuntime, StaticIndependent};
+use wanify_netsim::DcId;
 
 /// One configuration's accuracy comparison.
 #[derive(Debug, Clone)]
@@ -65,14 +66,11 @@ const SIGNIFICANT: f64 = 100.0;
 
 fn compare(env: &ExpEnv, sim: &mut wanify_netsim::NetSim, label: &str) -> AccuracyRow {
     let n = sim.topology().len();
-    let static_bw = sim.measure_static_independent();
+    let static_bw = StaticIndependent::new().gauge(sim).expect("static probe matches topology");
     sim.shuffle_time();
-    let snapshot = sim.snapshot(&ConnMatrix::filled(n, 1));
-    let predicted = env
-        .model
-        .predict_matrix(&snapshot, sim.topology())
-        .expect("snapshot matches topology");
-    let runtime = sim.measure_runtime(&ConnMatrix::filled(n, 1), 20).bw;
+    let predicted =
+        PredictedRuntime::new(env.model.clone()).gauge(sim).expect("snapshot matches topology");
+    let runtime = MeasuredRuntime::default().gauge(sim).expect("runtime probe matches topology");
     AccuracyRow {
         label: label.to_string(),
         static_significant: static_bw.count_significant_diffs(&runtime, SIGNIFICANT),
@@ -122,8 +120,7 @@ mod tests {
     #[test]
     fn predicted_beats_static_overall() {
         let f = run(Effort::Quick, 91);
-        let static_total: usize =
-            f.by_cluster_size.iter().map(|r| r.static_significant).sum();
+        let static_total: usize = f.by_cluster_size.iter().map(|r| r.static_significant).sum();
         let predicted_total: usize =
             f.by_cluster_size.iter().map(|r| r.predicted_significant).sum();
         assert!(
@@ -136,8 +133,7 @@ mod tests {
     fn heterogeneous_vms_also_favor_prediction() {
         let f = run(Effort::Quick, 92);
         let static_total: usize = f.by_extra_vms.iter().map(|r| r.static_significant).sum();
-        let predicted_total: usize =
-            f.by_extra_vms.iter().map(|r| r.predicted_significant).sum();
+        let predicted_total: usize = f.by_extra_vms.iter().map(|r| r.predicted_significant).sum();
         assert!(predicted_total <= static_total);
     }
 

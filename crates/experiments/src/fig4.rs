@@ -7,7 +7,7 @@
 //! −22% vs NoQ, SimQ/PredQ a further 13-14.5%, and WQ best (−26% vs SAGQ)
 //! with a 2× minimum-bandwidth boost.
 
-use crate::common::{improvement_pct, render_table, Effort, ExpEnv};
+use crate::common::{improvement_pct, render_table, Belief, Effort, ExpEnv};
 use wanify::{Wanify, WanifyConfig};
 use wanify_netsim::{ConnMatrix, DcId};
 use wanify_workloads::quantization::{run_training, QuantConfig, QuantPolicy, TrainingReport};
@@ -62,10 +62,7 @@ impl Fig4 {
             })
             .collect();
         let mut s = String::from("Fig. 4: quantized geo-distributed training\n");
-        s.push_str(&render_table(
-            &["variant", "training (s)", "cost", "min BW (Mbps)"],
-            &rows,
-        ));
+        s.push_str(&render_table(&["variant", "training (s)", "cost", "min BW (Mbps)"], &rows));
         s.push_str(&format!(
             "WQ vs SAGQ: {:+.1}% training time (paper: ~26%)\n",
             self.wq_over_sagq_pct()
@@ -94,23 +91,17 @@ pub fn run(effort: Effort, seed: u64) -> Fig4 {
     let cfg = ml_config(effort);
     let mut rows = Vec::new();
 
-    let variants: [(&str, bool, &str); 4] = [
-        ("NoQ", false, "none"),
-        ("SAGQ", true, "static-independent"),
-        ("SimQ", true, "static-simultaneous"),
-        ("PredQ", true, "predicted"),
+    let variants: [(&str, Option<Belief>); 4] = [
+        ("NoQ", None),
+        ("SAGQ", Some(Belief::StaticIndependent)),
+        ("SimQ", Some(Belief::StaticSimultaneous)),
+        ("PredQ", Some(Belief::Predicted)),
     ];
-    for (i, (name, quantized, belief)) in variants.into_iter().enumerate() {
+    for (i, (name, belief)) in variants.into_iter().enumerate() {
         let mut sim = env.sim(i as u64);
-        let policy = if quantized {
-            let bw = match belief {
-                "static-independent" => env.static_independent(&mut sim),
-                "static-simultaneous" => env.static_simultaneous(&mut sim),
-                _ => env.predicted(&mut sim),
-            };
-            QuantPolicy::BwDriven(bw)
-        } else {
-            QuantPolicy::FullPrecision
+        let policy = match belief {
+            Some(belief) => QuantPolicy::BwDriven(env.gauge(belief, &mut sim)),
+            None => QuantPolicy::FullPrecision,
         };
         let report: TrainingReport = run_training(&mut sim, &cfg, &policy, None, None);
         rows.push(Fig4Row {
@@ -127,9 +118,9 @@ pub fn run(effort: Effort, seed: u64) -> Fig4 {
     // only re-inflate the near workers' exchanges. The hub-and-spoke ML
     // pattern benefits from the heterogeneous connections and AIMD alone.
     let mut sim = env.sim(9);
-    let predicted = env.predicted(&mut sim);
+    let predicted = env.gauge(Belief::Predicted, &mut sim);
     let wanify = Wanify::new(WanifyConfig { throttling: false, ..WanifyConfig::default() });
-    let plan = wanify.plan(&predicted);
+    let plan = wanify.plan_matrix(&predicted);
     let mut agent = wanify.agent(&plan);
     let conns: ConnMatrix = plan.initial_conns().clone();
     // WQ picks precision from the same predicted beliefs as PredQ — the

@@ -7,7 +7,7 @@
 //! The paper's shape: WANify-P *hurts* (congestion), Dynamic helps,
 //! TC is best on latency, cost and minimum bandwidth.
 
-use crate::common::{render_table, run_wanified, Effort, ExpEnv, WanifyMode};
+use crate::common::{render_table, run_wanified, Belief, Effort, ExpEnv, WanifyMode};
 use wanify_gda::{run_job, QueryReport, TransferOptions, VanillaSpark};
 use wanify_netsim::ConnMatrix;
 use wanify_workloads::terasort;
@@ -57,10 +57,7 @@ impl Fig5 {
             })
             .collect();
         let mut s = String::from("Fig. 5: parallel data transfer approaches (TeraSort)\n");
-        s.push_str(&render_table(
-            &["approach", "latency (s)", "cost", "min BW (Mbps)"],
-            &rows,
-        ));
+        s.push_str(&render_table(&["approach", "latency (s)", "cost", "min BW (Mbps)"], &rows));
         s.push_str("paper: TC best (61 min, $4.7, 790 Mbps); uniform-P worst\n");
         s
     }
@@ -69,31 +66,25 @@ impl Fig5 {
 /// Runs the four approaches.
 pub fn run(effort: Effort, seed: u64) -> Fig5 {
     let env = ExpEnv::new(8, effort, seed);
-    let job = terasort::job(wanify_gda::DataLayout::uniform(
-        8,
-        100.0 * effort.input_scale(),
-    ));
+    let job = terasort::job(wanify_gda::DataLayout::uniform(8, 100.0 * effort.input_scale()));
     let sched = VanillaSpark::new();
     let mut rows = Vec::new();
 
     // Baseline: locality-aware Spark, single connection, static beliefs.
     {
         let mut sim = env.sim(0);
-        let belief = env.static_independent(&mut sim);
-        let r: QueryReport =
-            run_job(&mut sim, &job, &sched, &belief, TransferOptions::default());
+        let r: QueryReport = env.run_baseline(&mut sim, &job, &sched, Belief::StaticIndependent);
         rows.push(row("No WANify", &r));
     }
     // WANify-P: uniform 8 parallel connections on predicted beliefs.
     {
         let mut sim = env.sim(1);
-        let belief = env.predicted(&mut sim);
         let conns = ConnMatrix::from_fn(8, |i, j| if i == j { 1 } else { 8 });
         let r = run_job(
             &mut sim,
             &job,
             &sched,
-            &belief,
+            env.source(Belief::Predicted).as_mut(),
             TransferOptions { conns: Some(&conns), hook: None },
         );
         rows.push(row("WANify-P", &r));
@@ -101,15 +92,15 @@ pub fn run(effort: Effort, seed: u64) -> Fig5 {
     // WANify-Dynamic: heterogeneous plan + agents, no throttling.
     {
         let mut sim = env.sim(2);
-        let belief = env.predicted(&mut sim);
-        let r = run_wanified(&mut sim, &job, &sched, &belief, WanifyMode::dynamic(), None);
+        let mut source = env.source(Belief::Predicted);
+        let r = run_wanified(&mut sim, &job, &sched, source.as_mut(), WanifyMode::dynamic(), None);
         rows.push(row("WANify-Dynamic", &r));
     }
     // WANify-TC: the default model with throttling.
     {
         let mut sim = env.sim(3);
-        let belief = env.predicted(&mut sim);
-        let r = run_wanified(&mut sim, &job, &sched, &belief, WanifyMode::full(), None);
+        let mut source = env.source(Belief::Predicted);
+        let r = run_wanified(&mut sim, &job, &sched, source.as_mut(), WanifyMode::full(), None);
         rows.push(row("WANify-TC", &r));
     }
     Fig5 { rows }

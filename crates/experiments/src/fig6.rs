@@ -5,8 +5,8 @@
 //! WANify and vanilla tie; from ~7.4 MB upward WANify's heterogeneous
 //! connections cut latency and cost and lift the minimum bandwidth.
 
-use crate::common::{render_table, run_wanified, Effort, ExpEnv, WanifyMode};
-use wanify_gda::{run_job, TransferOptions, VanillaSpark};
+use crate::common::{render_table, run_wanified, Belief, Effort, ExpEnv, WanifyMode};
+use wanify_gda::VanillaSpark;
 use wanify_workloads::wordcount;
 
 /// One point of the sweep.
@@ -84,13 +84,16 @@ pub fn run(effort: Effort, seed: u64) -> Fig6 {
         let input_mb = (mb * 20.0).clamp(100.0, 600.0);
         let job = wordcount::sweep_job(8, input_mb, mb);
         let mut sim_v = env.sim(100 + k as u64);
-        let belief_v = env.static_independent(&mut sim_v);
-        let vanilla =
-            run_job(&mut sim_v, &job, &sched, &belief_v, TransferOptions::default());
+        let vanilla = env.run_baseline(&mut sim_v, &job, &sched, Belief::StaticIndependent);
         let mut sim_w = env.sim(100 + k as u64);
-        let belief_w = env.predicted(&mut sim_w);
-        let wanified =
-            run_wanified(&mut sim_w, &job, &sched, &belief_w, WanifyMode::full(), None);
+        let wanified = run_wanified(
+            &mut sim_w,
+            &job,
+            &sched,
+            env.source(Belief::Predicted).as_mut(),
+            WanifyMode::full(),
+            None,
+        );
         points.push(Fig6Point {
             intermediate_mb: mb,
             vanilla_latency_s: vanilla.latency_s,

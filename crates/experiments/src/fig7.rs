@@ -6,8 +6,8 @@
 //! throttling). The paper reports up to 24% lower latency, up to 8% lower
 //! cost, and a 3.3× higher minimum bandwidth.
 
-use crate::common::{improvement_pct, render_table, run_wanified, Effort, ExpEnv, WanifyMode};
-use wanify_gda::{run_job, Kimchi, Scheduler, Tetrium, TransferOptions};
+use crate::common::{improvement_pct, render_table, Effort, ExpEnv, WanifyMode};
+use wanify_gda::{Kimchi, Scheduler, Tetrium};
 use wanify_workloads::TpcDsQuery;
 
 /// One (query, scheduler) comparison.
@@ -86,7 +86,8 @@ impl Fig7 {
     }
 }
 
-/// Runs all queries on both schedulers.
+/// Runs all queries on both schedulers through the shared
+/// baseline-vs-WANify harness ([`ExpEnv::compare`]).
 pub fn run(effort: Effort, seed: u64) -> Fig7 {
     let env = ExpEnv::new(8, effort, seed);
     let mut rows = Vec::new();
@@ -96,40 +97,15 @@ pub fn run(effort: Effort, seed: u64) -> Fig7 {
         for (si, scheduler) in schedulers.iter().enumerate() {
             let run_id = (qi * 10 + si) as u64;
             let job = query.job(env.n, 100.0 * effort.input_scale());
-
-            let mut sim_base = env.sim(run_id);
-            let belief = env.static_independent(&mut sim_base);
-            let base = run_job(
-                &mut sim_base,
-                &job,
-                scheduler.as_ref(),
-                &belief,
-                TransferOptions::default(),
-            );
-
-            let mut sim_w = env.sim(run_id);
-            let predicted = env.predicted(&mut sim_w);
-            let wanified = run_wanified(
-                &mut sim_w,
-                &job,
-                scheduler.as_ref(),
-                &predicted,
-                WanifyMode::full(),
-                None,
-            );
-
+            let cmp = env.compare(&job, scheduler.as_ref(), run_id, WanifyMode::full());
             rows.push(Fig7Row {
                 query: query.name().to_string(),
                 scheduler: scheduler.name().to_string(),
-                base_latency_s: base.latency_s,
-                wanify_latency_s: wanified.latency_s,
-                base_cost_usd: base.cost.total_usd(),
-                wanify_cost_usd: wanified.cost.total_usd(),
-                min_bw_ratio: if base.min_bw_mbps > 0.0 {
-                    wanified.min_bw_mbps / base.min_bw_mbps
-                } else {
-                    1.0
-                },
+                base_latency_s: cmp.baseline.latency_s,
+                wanify_latency_s: cmp.wanified.latency_s,
+                base_cost_usd: cmp.baseline.cost.total_usd(),
+                wanify_cost_usd: cmp.wanified.cost.total_usd(),
+                min_bw_ratio: cmp.min_bw_ratio(),
             });
         }
     }

@@ -9,10 +9,13 @@
 //! randomly added to the predicted matrix; the paper reports ~18% higher
 //! latency, ~5% higher cost and a ~38% lower minimum bandwidth.
 
-use crate::common::{improvement_pct, render_table, run_wanified, Effort, ExpEnv, WanifyMode};
+use crate::common::{
+    improvement_pct, render_table, run_wanified, Belief, Effort, ExpEnv, WanifyMode,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use wanify_gda::{run_job, Kimchi, Scheduler, Tetrium, TransferOptions};
+use wanify::Pregauged;
+use wanify_gda::{Kimchi, Scheduler, Tetrium};
 use wanify_netsim::BwMatrix;
 use wanify_workloads::TpcDsQuery;
 
@@ -58,10 +61,7 @@ impl Fig8 {
     ///
     /// Panics if the (scheduler, arm) pair does not exist.
     pub fn ablation_row(&self, scheduler: &str, arm: &str) -> &AblationRow {
-        self.ablation
-            .iter()
-            .find(|r| r.scheduler == scheduler && r.arm == arm)
-            .expect("arm exists")
+        self.ablation.iter().find(|r| r.scheduler == scheduler && r.arm == arm).expect("arm exists")
     }
 
     /// Rendered summary.
@@ -130,9 +130,8 @@ pub fn run(effort: Effort, seed: u64) -> Fig8 {
         let run_id = si as u64;
         // Vanilla: static-independent beliefs, single connections.
         let mut sim = env.sim(run_id);
-        let belief = env.static_independent(&mut sim);
         let vanilla =
-            run_job(&mut sim, &job, scheduler.as_ref(), &belief, TransferOptions::default());
+            env.run_baseline(&mut sim, &job, scheduler.as_ref(), Belief::StaticIndependent);
         ablation.push(AblationRow {
             scheduler: scheduler.name().to_string(),
             arm: "vanilla".to_string(),
@@ -146,9 +145,14 @@ pub fn run(effort: Effort, seed: u64) -> Fig8 {
             ("wanify", WanifyMode::full()),
         ] {
             let mut sim = env.sim(run_id);
-            let predicted = env.predicted(&mut sim);
-            let r =
-                run_wanified(&mut sim, &job, scheduler.as_ref(), &predicted, mode, None);
+            let r = run_wanified(
+                &mut sim,
+                &job,
+                scheduler.as_ref(),
+                env.source(Belief::Predicted).as_mut(),
+                mode,
+                None,
+            );
             ablation.push(AblationRow {
                 scheduler: scheduler.name().to_string(),
                 arm: arm.to_string(),
@@ -161,20 +165,25 @@ pub fn run(effort: Effort, seed: u64) -> Fig8 {
 
     // Error injection on Tetrium.
     let mut sim = env.sim(77);
-    let predicted = env.predicted(&mut sim);
     let clean = run_wanified(
         &mut sim,
         &job,
         &Tetrium::new(),
-        &predicted,
+        env.source(Belief::Predicted).as_mut(),
         WanifyMode::full(),
         None,
     );
     let mut sim = env.sim(77);
-    let predicted = env.predicted(&mut sim);
+    let predicted = env.gauge(Belief::Predicted, &mut sim);
     let erred = inject_error(&predicted, 100.0, seed ^ 0xE44);
-    let noisy =
-        run_wanified(&mut sim, &job, &Tetrium::new(), &erred, WanifyMode::full(), None);
+    let noisy = run_wanified(
+        &mut sim,
+        &job,
+        &Tetrium::new(),
+        &mut Pregauged::named(erred, "predicted+err"),
+        WanifyMode::full(),
+        None,
+    );
     let error_injection = ErrorInjection {
         latency_increase_pct: -improvement_pct(clean.latency_s, noisy.latency_s),
         cost_increase_pct: -improvement_pct(clean.cost.total_usd(), noisy.cost.total_usd()),

@@ -7,7 +7,7 @@
 //! error injected into targets, the paper counts 6 epochs whose deltas
 //! are significant (>100 Mbps) and observes more epochs overall.
 
-use crate::common::{Effort, ExpEnv};
+use crate::common::{Belief, Effort, ExpEnv};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use wanify::{Wanify, WanifyConfig};
@@ -58,7 +58,12 @@ impl Fig9 {
             .clean
             .iter()
             .take(8)
-            .map(|e| format!("t={:>5.0}s target_sd={:>6.0} observed_sd={:>6.0}", e.time_s, e.target_sd, e.observed_sd))
+            .map(|e| {
+                format!(
+                    "t={:>5.0}s target_sd={:>6.0} observed_sd={:>6.0}",
+                    e.time_s, e.target_sd, e.observed_sd
+                )
+            })
             .collect();
         s.push_str(&preview.join("\n"));
         s.push('\n');
@@ -71,22 +76,23 @@ fn trace_run(env: &ExpEnv, perturb_pct: f64, seed: u64) -> Vec<EpochSd> {
     // populate the SD trace (the paper's runs last tens of minutes).
     let job = TpcDsQuery::Q78.job(env.n, 200.0 * env.effort.input_scale());
     let mut sim = env.sim(seed);
-    let predicted = env.predicted(&mut sim);
     let wanify = Wanify::new(WanifyConfig::default());
-    let plan = wanify.plan(&predicted);
+    let plan = wanify
+        .plan(env.source(Belief::Predicted).as_mut(), &mut sim)
+        .expect("predicted source matches the environment topology");
     for (i, j, cap) in plan.initial_throttles.iter_pairs() {
         if cap.is_finite() {
             sim.set_throttle(DcId(i), DcId(j), cap);
         }
     }
-    let belief = plan.achievable_bw().clone();
+    let mut belief = wanify::Pregauged::named(plan.achievable_bw().clone(), "wanify(predicted)");
     let conns = plan.initial_conns().clone();
     let mut agent = wanify.agent(&plan).traced(0);
     let _ = run_job(
         &mut sim,
         &job,
         &Tetrium::new(),
-        &belief,
+        &mut belief,
         TransferOptions { conns: Some(&conns), hook: Some(&mut agent) },
     );
     sim.clear_throttles();

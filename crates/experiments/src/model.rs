@@ -122,12 +122,7 @@ pub fn run(effort: Effort, seed: u64) -> ModelReport {
             test_accuracy_pct: eval(&|x| knn.predict(x), &test),
         },
     ];
-    ModelReport {
-        oob_mae_mbps: forest.oob_mae(&train),
-        rows,
-        n_samples,
-        n_rows: data.len(),
-    }
+    ModelReport { oob_mae_mbps: forest.oob_mae(&train), rows, n_samples, n_rows: data.len() }
 }
 
 #[cfg(test)]
@@ -155,11 +150,7 @@ mod tests {
     fn generalization_is_reasonable() {
         let m = run(Effort::Quick, 778);
         let rf = m.forest();
-        assert!(
-            rf.test_accuracy_pct > 80.0,
-            "held-out accuracy {:.1}%",
-            rf.test_accuracy_pct
-        );
+        assert!(rf.test_accuracy_pct > 80.0, "held-out accuracy {:.1}%", rf.test_accuracy_pct);
     }
 
     #[test]

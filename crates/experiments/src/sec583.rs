@@ -7,11 +7,9 @@
 //! 15%/7.4%/2× for the full stack.
 
 use crate::common::{improvement_pct, run_wanified, Effort, WanifyMode};
-use wanify::{BandwidthAnalyzer, WanPredictionModel};
+use wanify::{BandwidthAnalyzer, PredictedRuntime, StaticIndependent, WanPredictionModel};
 use wanify_gda::{run_job, Tetrium, TransferOptions};
-use wanify_netsim::{
-    paper_testbed, ConnMatrix, DcId, LinkModelParams, NetSim, VmType,
-};
+use wanify_netsim::{paper_testbed, DcId, LinkModelParams, NetSim, VmType};
 use wanify_workloads::TpcDsQuery;
 
 /// One arm's outcome.
@@ -37,8 +35,9 @@ pub struct Sec583 {
 impl Sec583 {
     /// Rendered summary.
     pub fn render(&self) -> String {
-        let mut s =
-            String::from("Sec 5.8.3: q78 with an extra t2.medium VM in US East (vs vanilla Tetrium)\n");
+        let mut s = String::from(
+            "Sec 5.8.3: q78 with an extra t2.medium VM in US East (vs vanilla Tetrium)\n",
+        );
         for r in &self.rows {
             s.push_str(&format!(
                 "{:<12} latency {:+.1}%  cost {:+.1}%  minBW {:.2}x\n",
@@ -65,29 +64,35 @@ pub fn run(effort: Effort, seed: u64) -> Sec583 {
         samples_per_size: effort.samples_per_size(),
     };
     let data = analyzer.collect(&[6, 7, 8], seed ^ 0x583);
-    let model = WanPredictionModel::train(&data, effort.n_estimators(), seed);
+    let model = std::sync::Arc::new(WanPredictionModel::train(&data, effort.n_estimators(), seed));
     let job = TpcDsQuery::Q78.job(8, 100.0 * effort.input_scale());
     let sched = Tetrium::new();
 
-    let predict = |sim: &mut NetSim| {
-        let snapshot = sim.snapshot(&ConnMatrix::filled(8, 1));
-        model.predict_matrix(&snapshot, sim.topology()).expect("matching sizes")
-    };
-
     // Vanilla baseline.
     let mut sim = hetero_sim(seed);
-    let belief = sim.measure_static_independent();
-    let vanilla = run_job(&mut sim, &job, &sched, &belief, TransferOptions::default());
+    let vanilla =
+        run_job(&mut sim, &job, &sched, &mut StaticIndependent::new(), TransferOptions::default());
 
     // Tetrium-r: predicted beliefs, still single connection.
     let mut sim = hetero_sim(seed);
-    let predicted = predict(&mut sim);
-    let tetrium_r = run_job(&mut sim, &job, &sched, &predicted, TransferOptions::default());
+    let tetrium_r = run_job(
+        &mut sim,
+        &job,
+        &sched,
+        &mut PredictedRuntime::new(model.clone()),
+        TransferOptions::default(),
+    );
 
     // Full WANify.
     let mut sim = hetero_sim(seed);
-    let predicted = predict(&mut sim);
-    let full = run_wanified(&mut sim, &job, &sched, &predicted, WanifyMode::full(), None);
+    let full = run_wanified(
+        &mut sim,
+        &job,
+        &sched,
+        &mut PredictedRuntime::new(model.clone()),
+        WanifyMode::full(),
+        None,
+    );
 
     let mk = |name: &str, r: &wanify_gda::QueryReport| Sec583Row {
         name: name.to_string(),

@@ -6,7 +6,8 @@
 //! (200, 250] and 3 above 250 Mbps — 18 significant gaps in total.
 
 use crate::common::render_table;
-use wanify_netsim::{paper_testbed, ConnMatrix, LinkModelParams, NetSim, VmType};
+use wanify::{BandwidthSource, MeasuredRuntime, StaticIndependent};
+use wanify_netsim::{paper_testbed, LinkModelParams, NetSim, VmType};
 
 /// Result of the Table 1 reproduction.
 #[derive(Debug, Clone)]
@@ -40,29 +41,26 @@ impl Table1 {
                 vec!["(100, 200]".into(), self.bucket_100_200.to_string(), "7".into()],
                 vec!["(200, 250]".into(), self.bucket_200_250.to_string(), "8".into()],
                 vec!["> 250".into(), self.bucket_over_250.to_string(), "3".into()],
-                vec![
-                    "total significant".into(),
-                    self.total_significant().to_string(),
-                    "18".into(),
-                ],
+                vec!["total significant".into(), self.total_significant().to_string(), "18".into()],
             ],
         ));
         if let Some((from, st, rt)) = &self.flipped_slowest {
-            s.push_str(&format!(
-                "slowest DC from {from}: static says {st}, runtime says {rt}\n"
-            ));
+            s.push_str(&format!("slowest DC from {from}: static says {st}, runtime says {rt}\n"));
         }
         s
     }
 }
 
-/// Runs the experiment on the 8-DC testbed.
+/// Runs the experiment on the 8-DC testbed: the same network gauged
+/// through the static and the runtime [`BandwidthSource`], then bucketed.
 pub fn run(seed: u64) -> Table1 {
     let topo = paper_testbed(VmType::t2_medium());
     let mut sim = NetSim::new(topo, LinkModelParams::default(), seed);
-    let static_bw = sim.measure_static_independent();
+    let static_bw =
+        StaticIndependent::new().gauge(&mut sim).expect("static probe matches topology");
     sim.shuffle_time();
-    let runtime = sim.measure_runtime(&ConnMatrix::filled(8, 1), 20).bw;
+    let runtime =
+        MeasuredRuntime::default().gauge(&mut sim).expect("runtime probe matches topology");
 
     let mut b1 = 0;
     let mut b2 = 0;

@@ -28,13 +28,16 @@ impl Table2 {
         }
         let mut s = String::from("Table 2: annual BW monitoring costs\n");
         s.push_str(&render_table(
-            &["DCs", "runtime monitoring", "model training", "predictions", "paper (mon/train/pred)"],
+            &[
+                "DCs",
+                "runtime monitoring",
+                "model training",
+                "predictions",
+                "paper (mon/train/pred)",
+            ],
             &rows,
         ));
-        s.push_str(&format!(
-            "overall savings: {:.1}% (paper: ~96%)\n",
-            self.savings_pct
-        ));
+        s.push_str(&format!("overall savings: {:.1}% (paper: ~96%)\n", self.savings_pct));
         s
     }
 }

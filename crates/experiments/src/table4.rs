@@ -6,8 +6,8 @@
 //! (§5.2). The paper reports latency gains up to ~18% and cost gains up
 //! to ~5.2%, with predicted ≈ simultaneous.
 
-use crate::common::{improvement_pct, render_table, Effort, ExpEnv};
-use wanify_gda::{run_job, Kimchi, QueryReport, Scheduler, Tetrium, TransferOptions};
+use crate::common::{improvement_pct, render_table, Belief, Effort, ExpEnv};
+use wanify_gda::{Kimchi, QueryReport, Scheduler, Tetrium};
 use wanify_workloads::TpcDsQuery;
 
 /// One (query, scheduler, belief) cell.
@@ -56,9 +56,8 @@ impl Table4 {
                 ]
             })
             .collect();
-        let mut s = String::from(
-            "Table 4: gains over static-independent BWs (single connection)\n",
-        );
+        let mut s =
+            String::from("Table 4: gains over static-independent BWs (single connection)\n");
         s.push_str(&render_table(
             &["query", "scheduler", "belief", "perf", "cost", "minBW"],
             &rows,
@@ -72,18 +71,12 @@ fn run_with_belief(
     env: &ExpEnv,
     query: TpcDsQuery,
     scheduler: &dyn Scheduler,
-    belief: &str,
+    belief: Belief,
     run_id: u64,
 ) -> QueryReport {
     let mut sim = env.sim(run_id);
     let job = query.job(env.n, 100.0 * env.effort.input_scale());
-    let bw = match belief {
-        "static-independent" => env.static_independent(&mut sim),
-        "static-simultaneous" => env.static_simultaneous(&mut sim),
-        "predicted" => env.predicted(&mut sim),
-        other => unreachable!("unknown belief {other}"),
-    };
-    run_job(&mut sim, &job, scheduler, &bw, TransferOptions::default())
+    env.run_baseline(&mut sim, &job, scheduler, belief)
 }
 
 /// Runs all queries × schedulers × beliefs.
@@ -96,18 +89,15 @@ pub fn run(effort: Effort, seed: u64) -> Table4 {
         for (si, scheduler) in schedulers.iter().enumerate() {
             let run_id = (qi * 10 + si) as u64;
             let baseline =
-                run_with_belief(&env, query, scheduler.as_ref(), "static-independent", run_id);
-            for belief in ["static-simultaneous", "predicted"] {
+                run_with_belief(&env, query, scheduler.as_ref(), Belief::StaticIndependent, run_id);
+            for belief in [Belief::StaticSimultaneous, Belief::Predicted] {
                 let report = run_with_belief(&env, query, scheduler.as_ref(), belief, run_id);
                 cells.push(Table4Cell {
                     query: query.name().to_string(),
                     scheduler: scheduler.name().to_string(),
-                    belief: belief.to_string(),
+                    belief: belief.label().to_string(),
                     perf_pct: improvement_pct(baseline.latency_s, report.latency_s),
-                    cost_pct: improvement_pct(
-                        baseline.cost.total_usd(),
-                        report.cost.total_usd(),
-                    ),
+                    cost_pct: improvement_pct(baseline.cost.total_usd(), report.cost.total_usd()),
                     min_bw_ratio: if baseline.min_bw_mbps > 0.0 {
                         report.min_bw_mbps / baseline.min_bw_mbps
                     } else {

@@ -90,25 +90,18 @@ impl CostModel {
         egress_gb_per_dc: &[f64],
         stored_input_gb: f64,
     ) -> CostBreakdown {
-        assert_eq!(
-            egress_gb_per_dc.len(),
-            topo.len(),
-            "egress vector must have one entry per DC"
-        );
+        assert_eq!(egress_gb_per_dc.len(), topo.len(), "egress vector must have one entry per DC");
         let hours = duration_s / 3600.0;
         let compute_usd: f64 = topo
             .iter()
-            .map(|(_, dc)| {
-                f64::from(dc.vm_count) * dc.vm.effective_price_per_hour() * hours
-            })
+            .map(|(_, dc)| f64::from(dc.vm_count) * dc.vm.effective_price_per_hour() * hours)
             .sum();
         let network_usd: f64 = topo
             .iter()
             .zip(egress_gb_per_dc)
             .map(|((_, dc), gb)| egress_price_per_gb(dc.region) * gb)
             .sum();
-        let storage_usd =
-            stored_input_gb * STORAGE_PRICE_PER_GB_MONTH * hours / HOURS_PER_MONTH;
+        let storage_usd = stored_input_gb * STORAGE_PRICE_PER_GB_MONTH * hours / HOURS_PER_MONTH;
         CostBreakdown {
             compute_usd: compute_usd * self.price_factor,
             network_usd: network_usd * self.price_factor,

@@ -9,7 +9,8 @@
 use crate::cost::{CostBreakdown, CostModel};
 use crate::job::JobProfile;
 use crate::scheduler::{PlacementCtx, Scheduler};
-use wanify_netsim::{BwMatrix, ConnMatrix, DcId, EpochHook, NetSim, Transfer};
+use wanify::source::BandwidthSource;
+use wanify_netsim::{ConnMatrix, DcId, EpochHook, NetSim, Transfer};
 
 /// Transfer-layer options for a query run.
 #[derive(Default)]
@@ -37,6 +38,8 @@ pub struct QueryReport {
     pub job: String,
     /// Scheduler that planned the run.
     pub scheduler: String,
+    /// Provenance of the bandwidth belief the scheduler planned with.
+    pub belief: String,
     /// End-to-end job completion time in seconds.
     pub latency_s: f64,
     /// Itemized dollar cost.
@@ -54,20 +57,25 @@ pub struct QueryReport {
 
 /// Runs `job` under `scheduler` on the simulated WAN.
 ///
-/// `bw_belief` is the bandwidth matrix the scheduler *believes*; the
-/// simulation itself uses the network's true state. Returns the full
-/// [`QueryReport`].
+/// `belief` is *any* [`BandwidthSource`]: the scheduler plans with
+/// whatever matrix the source gauges at job start, while the simulation
+/// itself uses the network's true state — so the provenance of the belief
+/// (static, measured, predicted) determines real performance exactly as
+/// in the paper (§2.2, §5.2). Returns the full [`QueryReport`].
 ///
 /// # Panics
 ///
-/// Panics if the job layout width differs from the topology size.
-pub fn run_job(
+/// Panics if the job layout width differs from the topology size, or if
+/// the source fails to gauge the network (a configuration error).
+pub fn run_job<S: BandwidthSource + ?Sized>(
     sim: &mut NetSim,
     job: &JobProfile,
     scheduler: &dyn Scheduler,
-    bw_belief: &BwMatrix,
+    belief: &mut S,
     mut opts: TransferOptions<'_>,
 ) -> QueryReport {
+    let bw_belief = &belief.gauge(sim).expect("bandwidth source must match the topology");
+    let belief_name = belief.name().to_string();
     let n = sim.topology().len();
     assert_eq!(job.layout.len(), n, "job layout must cover every DC");
     let single_conns = ConnMatrix::filled(n, 1);
@@ -161,6 +169,7 @@ pub fn run_job(
     QueryReport {
         job: job.name.clone(),
         scheduler: scheduler.name().to_string(),
+        belief: belief_name,
         latency_s,
         cost,
         min_bw_mbps: if min_bw.is_finite() { min_bw } else { 0.0 },
@@ -238,9 +247,13 @@ mod tests {
     fn run_reports_sane_metrics() {
         let mut s = sim(4);
         let job = sort_job(4, 4.0);
-        let belief = s.measure_static_independent();
-        let report =
-            run_job(&mut s, &job, &Tetrium::new(), &belief, TransferOptions::default());
+        let report = run_job(
+            &mut s,
+            &job,
+            &Tetrium::new(),
+            &mut wanify::StaticIndependent::new(),
+            TransferOptions::default(),
+        );
         assert!(report.latency_s > 0.0);
         assert!(report.cost.total_usd() > 0.0);
         assert!(report.min_bw_mbps > 0.0);
@@ -254,13 +267,21 @@ mod tests {
     fn wan_aware_beats_vanilla_on_heterogeneous_links() {
         let job = sort_job(4, 4.0);
         let mut s1 = sim(4);
-        let belief = s1.measure_static_independent();
-        let vanilla =
-            run_job(&mut s1, &job, &VanillaSpark::new(), &belief, TransferOptions::default());
+        let vanilla = run_job(
+            &mut s1,
+            &job,
+            &VanillaSpark::new(),
+            &mut wanify::StaticIndependent::new(),
+            TransferOptions::default(),
+        );
         let mut s2 = sim(4);
-        let belief2 = s2.measure_static_independent();
-        let tetrium =
-            run_job(&mut s2, &job, &Tetrium::new(), &belief2, TransferOptions::default());
+        let tetrium = run_job(
+            &mut s2,
+            &job,
+            &Tetrium::new(),
+            &mut wanify::StaticIndependent::new(),
+            TransferOptions::default(),
+        );
         assert!(
             tetrium.latency_s < vanilla.latency_s,
             "tetrium {} vs vanilla {}",
@@ -273,17 +294,20 @@ mod tests {
     fn parallel_connections_speed_up_the_shuffle() {
         let job = sort_job(4, 4.0);
         let mut s1 = sim(4);
-        let belief = s1.measure_static_independent();
-        let single =
-            run_job(&mut s1, &job, &Tetrium::new(), &belief, TransferOptions::default());
+        let single = run_job(
+            &mut s1,
+            &job,
+            &Tetrium::new(),
+            &mut wanify::StaticIndependent::new(),
+            TransferOptions::default(),
+        );
         let mut s2 = sim(4);
-        let belief2 = s2.measure_static_independent();
         let conns = ConnMatrix::from_fn(4, |i, j| if i == j { 1 } else { 4 });
         let parallel = run_job(
             &mut s2,
             &job,
             &Tetrium::new(),
-            &belief2,
+            &mut wanify::StaticIndependent::new(),
             TransferOptions { conns: Some(&conns), hook: None },
         );
         assert!(
@@ -298,9 +322,13 @@ mod tests {
     fn zero_input_job_costs_almost_nothing() {
         let mut s = sim(3);
         let job = sort_job(3, 0.0);
-        let belief = s.measure_static_independent();
-        let report =
-            run_job(&mut s, &job, &VanillaSpark::new(), &belief, TransferOptions::default());
+        let report = run_job(
+            &mut s,
+            &job,
+            &VanillaSpark::new(),
+            &mut wanify::StaticIndependent::new(),
+            TransferOptions::default(),
+        );
         assert_eq!(report.shuffle_gb, 0.0);
         assert_eq!(report.min_bw_mbps, 0.0);
         assert!(report.latency_s < 1.0);
@@ -310,9 +338,13 @@ mod tests {
     fn egress_accounting_feeds_network_cost() {
         let mut s = sim(3);
         let job = sort_job(3, 3.0);
-        let belief = s.measure_static_independent();
-        let report =
-            run_job(&mut s, &job, &VanillaSpark::new(), &belief, TransferOptions::default());
+        let report = run_job(
+            &mut s,
+            &job,
+            &VanillaSpark::new(),
+            &mut wanify::StaticIndependent::new(),
+            TransferOptions::default(),
+        );
         let total_egress: f64 = report.egress_gb.iter().sum();
         assert!(total_egress > 0.0);
         assert!(report.cost.network_usd > 0.0);

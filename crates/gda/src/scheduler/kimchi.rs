@@ -48,11 +48,7 @@ impl Scheduler for Kimchi {
                 // Egress avoided per unit fraction placed at j: j's own
                 // output priced at j's region egress rate.
                 let price = egress_price_per_gb(ctx.topo.dc(DcId(j)).region);
-                let avoided = if total_out > 0.0 {
-                    price * ctx.out_gb[j] / total_out
-                } else {
-                    0.0
-                };
+                let avoided = if total_out > 0.0 { price * ctx.out_gb[j] / total_out } else { 0.0 };
                 latency_term * (1.0 + self.cost_weight * avoided / 0.138)
             })
             .collect();

@@ -14,7 +14,8 @@ pub use kimchi::Kimchi;
 pub use tetrium::Tetrium;
 pub use vanilla::VanillaSpark;
 
-use wanify_netsim::{BwMatrix, Topology};
+use wanify::source::BandwidthSource;
+use wanify_netsim::{BwMatrix, NetSim, Topology};
 
 /// Inputs available when placing one stage's reduce tasks.
 #[derive(Debug)]
@@ -50,8 +51,7 @@ impl PlacementCtx<'_> {
     pub fn unit_time_at(&self, j: usize) -> f64 {
         let n = self.n();
         let col_sum: f64 = (0..n).filter(|&i| i != j).map(|i| self.bw.get(i, j)).sum();
-        let inflow_gb: f64 =
-            (0..n).filter(|&i| i != j).map(|i| self.out_gb[i]).sum();
+        let inflow_gb: f64 = (0..n).filter(|&i| i != j).map(|i| self.out_gb[i]).sum();
         // GB → Gb (×8) → seconds at Mbps (×1000).
         let aggregate = inflow_gb * 8.0 * 1000.0 / col_sum.max(1.0);
         let worst_link = (0..n)
@@ -80,6 +80,29 @@ pub trait Scheduler {
     /// The default implementation performs no migration.
     fn migrate_input(&self, _ctx: &PlacementCtx<'_>) -> Option<Vec<f64>> {
         None
+    }
+
+    /// Places reduce tasks using a belief gauged from any
+    /// [`BandwidthSource`] — the provenance-agnostic entry point.
+    ///
+    /// Every scheduler consumes static, measured and predicted bandwidth
+    /// through this one method; nothing in the placement path knows where
+    /// the matrix came from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source cannot gauge the network (a configuration
+    /// error, e.g. a model trained for a different topology family).
+    fn place_reduce_from(
+        &self,
+        source: &mut dyn BandwidthSource,
+        sim: &mut NetSim,
+        out_gb: &[f64],
+        compute_s_per_gb: f64,
+    ) -> Vec<f64> {
+        let bw = source.gauge(sim).expect("bandwidth source must match the topology");
+        let ctx = PlacementCtx { topo: sim.topology(), bw: &bw, out_gb, compute_s_per_gb };
+        self.place_reduce(&ctx)
     }
 }
 
@@ -218,9 +241,8 @@ mod tests {
     #[test]
     fn unit_time_includes_compute_term() {
         let (topo, bw, out) = ctx_fixture();
-        let no_compute =
-            PlacementCtx { topo: &topo, bw: &bw, out_gb: &out, compute_s_per_gb: 0.0 }
-                .unit_time_at(0);
+        let no_compute = PlacementCtx { topo: &topo, bw: &bw, out_gb: &out, compute_s_per_gb: 0.0 }
+            .unit_time_at(0);
         let with_compute =
             PlacementCtx { topo: &topo, bw: &bw, out_gb: &out, compute_s_per_gb: 10.0 }
                 .unit_time_at(0);

@@ -57,12 +57,7 @@ impl Scheduler for Tetrium {
     fn migrate_input(&self, ctx: &PlacementCtx<'_>) -> Option<Vec<f64>> {
         let n = ctx.n();
         let best_out: Vec<f64> = (0..n)
-            .map(|i| {
-                (0..n)
-                    .filter(|&j| j != i)
-                    .map(|j| ctx.bw.get(i, j))
-                    .fold(0.0, f64::max)
-            })
+            .map(|i| (0..n).filter(|&j| j != i).map(|j| ctx.bw.get(i, j)).fold(0.0, f64::max))
             .collect();
         let mut sorted = best_out.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite bandwidth"));

@@ -26,8 +26,7 @@ impl DataLayout {
         let total_blocks = (total_gb * 1024.0 / block_size_mb).round() as u64;
         let base = total_blocks / n_dcs as u64;
         let rem = (total_blocks % n_dcs as u64) as usize;
-        let blocks_per_dc =
-            (0..n_dcs).map(|i| base + u64::from(i < rem)).collect();
+        let blocks_per_dc = (0..n_dcs).map(|i| base + u64::from(i < rem)).collect();
         Self { block_size_mb, blocks_per_dc }
     }
 

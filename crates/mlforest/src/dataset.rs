@@ -49,7 +49,10 @@ impl Dataset {
     /// the dataset's width.
     pub fn push(&mut self, features: Vec<f64>, target: f64) -> Result<(), DatasetError> {
         if features.len() != self.n_features {
-            return Err(DatasetError::WrongArity { expected: self.n_features, got: features.len() });
+            return Err(DatasetError::WrongArity {
+                expected: self.n_features,
+                got: features.len(),
+            });
         }
         self.xs.push(features);
         self.ys.push(target);

@@ -51,8 +51,7 @@ impl RegressionTree {
     /// Panics if `data` is empty.
     pub fn fit(data: &Dataset, params: &TreeParams, rng: &mut StdRng) -> Self {
         assert!(!data.is_empty(), "cannot fit a tree on an empty dataset");
-        let mut tree =
-            Self { nodes: Vec::new(), n_features: data.n_features() };
+        let mut tree = Self { nodes: Vec::new(), n_features: data.n_features() };
         let indices: Vec<usize> = (0..data.len()).collect();
         tree.build(data, indices, params, 0, rng);
         tree

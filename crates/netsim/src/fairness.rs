@@ -103,7 +103,8 @@ pub fn allocate_max_min(problem: &FairnessProblem) -> Vec<f64> {
         }
         for r in &problem.resources {
             let used: f64 = r.members.iter().map(|&m| rates[m]).sum();
-            let w: f64 = r.members.iter().filter(|&&m| active[m]).map(|&m| problem.weights[m]).sum();
+            let w: f64 =
+                r.members.iter().filter(|&&m| active[m]).map(|&m| problem.weights[m]).sum();
             if w > EPS {
                 t_star = t_star.min((r.capacity_mbps - used).max(0.0) / w);
             }

@@ -26,17 +26,14 @@ pub type ConnMatrix = Grid<u32>;
 impl<T: Copy + Default> Grid<T> {
     /// Creates an `n × n` grid filled with `T::default()`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `n == 0`.
+    /// `n == 0` yields the empty grid: every aggregate helper returns its
+    /// identity and `iter_pairs` is empty.
     pub fn new(n: usize) -> Self {
-        assert!(n > 0, "grid must have at least one row");
         Self { n, data: vec![T::default(); n * n] }
     }
 
     /// Creates an `n × n` grid filled with `fill`.
     pub fn filled(n: usize, fill: T) -> Self {
-        assert!(n > 0, "grid must have at least one row");
         Self { n, data: vec![fill; n * n] }
     }
 
@@ -58,7 +55,6 @@ impl<T: Copy + Default> Grid<T> {
     /// Panics if `data.len()` is not a perfect square matching `n * n`.
     pub fn from_rows(n: usize, data: Vec<T>) -> Self {
         assert_eq!(data.len(), n * n, "row-major data must contain n*n cells");
-        assert!(n > 0, "grid must have at least one row");
         Self { n, data }
     }
 
@@ -67,9 +63,9 @@ impl<T: Copy + Default> Grid<T> {
         self.n
     }
 
-    /// Always false: grids have at least one row.
+    /// Whether the grid has zero rows.
     pub fn is_empty(&self) -> bool {
-        false
+        self.n == 0
     }
 
     /// Value at `(i, j)`.
@@ -105,9 +101,8 @@ impl<T: Copy + Default> Grid<T> {
     /// Iterates over all directed off-diagonal pairs `(i, j, value)`.
     pub fn iter_pairs(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
         let n = self.n;
-        (0..n).flat_map(move |i| {
-            (0..n).filter(move |&j| j != i).map(move |j| (i, j, self.get(i, j)))
-        })
+        (0..n)
+            .flat_map(move |i| (0..n).filter(move |&j| j != i).map(move |j| (i, j, self.get(i, j))))
     }
 
     /// Maps every cell through `f`, producing a new grid.
@@ -168,9 +163,7 @@ impl Grid<f64> {
     /// Panics if the grids have different sizes.
     pub fn count_significant_diffs(&self, other: &Grid<f64>, threshold: f64) -> usize {
         assert_eq!(self.n, other.n, "grids must have matching dimensions");
-        self.iter_pairs()
-            .filter(|&(i, j, v)| (v - other.get(i, j)).abs() > threshold)
-            .count()
+        self.iter_pairs().filter(|&(i, j, v)| (v - other.get(i, j)).abs() > threshold).count()
     }
 
     /// Renders the grid as an aligned text table with row/column labels.
@@ -266,6 +259,18 @@ mod tests {
     #[should_panic]
     fn mismatched_rows_panics() {
         let _ = BwMatrix::from_rows(2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn empty_grid_is_well_behaved() {
+        let g = BwMatrix::new(0);
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 0);
+        assert_eq!(g.iter_pairs().count(), 0);
+        assert_eq!(g.min_off_diag(), f64::INFINITY);
+        assert_eq!(g.max_off_diag(), f64::NEG_INFINITY);
+        assert_eq!(g.mean_off_diag(), 0.0);
+        assert_eq!(g.count_significant_diffs(&BwMatrix::filled(0, 1.0), 100.0), 0);
     }
 
     #[test]

@@ -156,9 +156,8 @@ impl NetSim {
                 let mem_base = 0.25
                     + 0.012 * f64::from(host_conns[h]) / f64::from(dc.vm_count)
                     + 0.2 * (ingress / dc.ingress_cap_mbps());
-                let cpu_base = 0.15
-                    + 0.006 * f64::from(host_conns[h]) / f64::from(dc.vm_count)
-                    + 0.45 * util;
+                let cpu_base =
+                    0.15 + 0.006 * f64::from(host_conns[h]) / f64::from(dc.vm_count) + 0.45 * util;
                 let retrans_base = 40.0 * (divisor - 1.0) + 2.0 * util;
                 let jitter = {
                     let rng = self.rng_mut();

@@ -469,8 +469,8 @@ mod tests {
         let conns = ConnMatrix::filled(3, 1);
         let slow = sim.run_transfers(&[Transfer::new(DcId(0), DcId(2), 2.0)], &conns, None);
         let mut sim = sim3();
-        let fast = sim
-            .run_transfers(&[Transfer::new(DcId(0), DcId(2), 2.0)], &conns, Some(&mut Booster));
+        let fast =
+            sim.run_transfers(&[Transfer::new(DcId(0), DcId(2), 2.0)], &conns, Some(&mut Booster));
         assert!(
             fast.makespan_s < slow.makespan_s,
             "boosted {} vs single-conn {}",
@@ -485,13 +485,9 @@ mod tests {
         use proptest::prelude::*;
 
         fn arb_flows() -> impl Strategy<Value = Vec<FlowSpec>> {
-            proptest::collection::vec((0usize..3, 0usize..3, 0u32..12), 1..10).prop_map(
-                |raw| {
-                    raw.into_iter()
-                        .map(|(s, d, c)| FlowSpec::new(DcId(s), DcId(d), c))
-                        .collect()
-                },
-            )
+            proptest::collection::vec((0usize..3, 0usize..3, 0u32..12), 1..10).prop_map(|raw| {
+                raw.into_iter().map(|(s, d, c)| FlowSpec::new(DcId(s), DcId(d), c)).collect()
+            })
         }
 
         proptest! {

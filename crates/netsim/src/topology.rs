@@ -206,10 +206,8 @@ mod tests {
 
     #[test]
     fn builder_rejects_single_dc() {
-        let err = Topology::builder()
-            .dc(Region::UsEast, VmType::t2_medium(), 1)
-            .build()
-            .unwrap_err();
+        let err =
+            Topology::builder().dc(Region::UsEast, VmType::t2_medium(), 1).build().unwrap_err();
         assert_eq!(err, TopologyError::TooFewDataCenters(1));
     }
 

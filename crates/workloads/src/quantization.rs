@@ -130,8 +130,8 @@ pub fn run_training<'a, 'b: 'a>(
             if w == cfg.master.0 {
                 continue;
             }
-            let gb = cfg.grad_mb_per_epoch / 1024.0 * f64::from(worker_bits)
-                / f64::from(cfg.max_bits);
+            let gb =
+                cfg.grad_mb_per_epoch / 1024.0 * f64::from(worker_bits) / f64::from(cfg.max_bits);
             // Gradients up, quantized model deltas down.
             transfers.push(Transfer::from_gigabytes(DcId(w), cfg.master, gb));
             transfers.push(Transfer::from_gigabytes(cfg.master, DcId(w), gb));
@@ -196,8 +196,7 @@ mod tests {
         let noq = run_training(&mut s1, &cfg, &QuantPolicy::FullPrecision, None, None);
         let mut s2 = sim(4);
         let belief = s2.measure_runtime(&ConnMatrix::filled(4, 1), 5).bw;
-        let quant =
-            run_training(&mut s2, &cfg, &QuantPolicy::BwDriven(belief), None, None);
+        let quant = run_training(&mut s2, &cfg, &QuantPolicy::BwDriven(belief), None, None);
         assert!(
             quant.training_s < noq.training_s,
             "quantized {} vs full {}",
@@ -223,8 +222,7 @@ mod tests {
         let single = run_training(&mut s1, &cfg, &QuantPolicy::FullPrecision, None, None);
         let mut s2 = sim(4);
         let conns = ConnMatrix::from_fn(4, |i, j| if i == j { 1 } else { 6 });
-        let parallel =
-            run_training(&mut s2, &cfg, &QuantPolicy::FullPrecision, Some(&conns), None);
+        let parallel = run_training(&mut s2, &cfg, &QuantPolicy::FullPrecision, Some(&conns), None);
         assert!(parallel.training_s < single.training_s);
     }
 

@@ -12,7 +12,7 @@
 //! ```
 
 use wanify::{Wanify, WanifyConfig};
-use wanify_experiments::common::{Effort, ExpEnv};
+use wanify_experiments::common::{Belief, Effort, ExpEnv};
 use wanify_netsim::DcId;
 use wanify_workloads::quantization::{run_training, QuantConfig, QuantPolicy};
 
@@ -35,29 +35,31 @@ fn main() {
     let noq = run_training(&mut sim, &cfg, &QuantPolicy::FullPrecision, None, None);
     println!("NoQ    (32-bit)      {:>6.0}s  cost {}", noq.training_s, noq.cost);
 
-    // Quantization on three beliefs.
-    for (name, belief) in
-        [("SAGQ", "static-independent"), ("SimQ", "static-simultaneous"), ("PredQ", "predicted")]
-    {
+    // Quantization on three beliefs, all gauged through the shared
+    // BandwidthSource harness.
+    for (name, belief) in [
+        ("SAGQ", Belief::StaticIndependent),
+        ("SimQ", Belief::StaticSimultaneous),
+        ("PredQ", Belief::Predicted),
+    ] {
         let mut sim = env.sim(1);
-        let bw = match belief {
-            "static-independent" => env.static_independent(&mut sim),
-            "static-simultaneous" => env.static_simultaneous(&mut sim),
-            _ => env.predicted(&mut sim),
-        };
+        let bw = env.gauge(belief, &mut sim);
         let r = run_training(&mut sim, &cfg, &QuantPolicy::BwDriven(bw), None, None);
         println!(
-            "{name:<6} ({belief:<19}) {:>4.0}s  cost {}  bits {:?}",
-            r.training_s, r.cost, r.bits_per_worker
+            "{name:<6} ({:<19}) {:>4.0}s  cost {}  bits {:?}",
+            belief.label(),
+            r.training_s,
+            r.cost,
+            r.bits_per_worker
         );
     }
 
     // WANify-enabled quantization (WQ): predicted beliefs + parallel
     // heterogeneous connections + local agents.
     let mut sim = env.sim(2);
-    let predicted = env.predicted(&mut sim);
+    let predicted = env.gauge(Belief::Predicted, &mut sim);
     let wanify = Wanify::new(WanifyConfig::default());
-    let plan = wanify.plan(&predicted);
+    let plan = wanify.plan_matrix(&predicted);
     for (i, j, cap) in plan.initial_throttles.iter_pairs() {
         if cap.is_finite() {
             sim.set_throttle(DcId(i), DcId(j), cap);

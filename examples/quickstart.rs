@@ -9,8 +9,11 @@
 //! cargo run --release -p wanify-experiments --example quickstart
 //! ```
 
-use wanify::{BandwidthAnalyzer, Wanify, WanPredictionModel, WanifyConfig};
-use wanify_netsim::{paper_testbed, ConnMatrix, LinkModelParams, NetSim, VmType};
+use wanify::{
+    BandwidthAnalyzer, BandwidthSource, MeasuredRuntime, PredictedRuntime, StaticIndependent,
+    WanPredictionModel, Wanify, WanifyConfig,
+};
+use wanify_netsim::{paper_testbed, LinkModelParams, NetSim, VmType};
 
 fn main() {
     // 1. The testbed: 8 AWS regions, one t2.medium worker each (Fig. 1).
@@ -19,19 +22,20 @@ fn main() {
     let mut sim = NetSim::new(topo, LinkModelParams::default(), 42);
 
     // 2. Static-independent probing — what existing GDA systems do.
-    let static_bw = sim.measure_static_independent();
+    let static_bw = StaticIndependent::new().gauge(&mut sim).expect("probe matches topology");
     println!("static-independent bandwidth (Mbps):");
     println!("{}", static_bw.render(&labels));
 
     // 3. Runtime bandwidth under simultaneous all-to-all transfer.
-    let runtime = sim.measure_runtime(&ConnMatrix::filled(8, 1), 20);
+    let runtime = MeasuredRuntime::default().gauge(&mut sim).expect("probe matches topology");
     println!("runtime bandwidth during all-to-all transfer (Mbps):");
-    println!("{}", runtime.bw.render(&labels));
-    let gaps = static_bw.count_significant_diffs(&runtime.bw, 100.0);
+    println!("{}", runtime.render(&labels));
+    let gaps = static_bw.count_significant_diffs(&runtime, 100.0);
     println!("significant gaps (>100 Mbps): {gaps} of 56 directed pairs\n");
 
     // 4. WANify's cheap alternative: train once, then predict runtime
-    //    bandwidth from 1-second snapshots.
+    //    bandwidth from 1-second snapshots — the same BandwidthSource
+    //    interface as the static probes above.
     let analyzer = BandwidthAnalyzer {
         vm: VmType::t2_medium(),
         params: LinkModelParams::default(),
@@ -44,17 +48,18 @@ fn main() {
         model.n_trees(),
         model.training_accuracy(&data)
     );
-    let snapshot = sim.snapshot(&ConnMatrix::filled(8, 1));
-    let predicted = model.predict_matrix(&snapshot, sim.topology()).expect("sizes match");
-    let pred_gaps = predicted.count_significant_diffs(&runtime.bw, 100.0);
+    let mut predictor = PredictedRuntime::new(model);
+    let predicted = predictor.gauge(&mut sim).expect("sizes match");
+    let pred_gaps = predicted.count_significant_diffs(&runtime, 100.0);
     println!("predicted-vs-runtime significant gaps: {pred_gaps} (static had {gaps})\n");
 
-    // 5. Balance the WAN: heterogeneous connections + throttling.
+    // 5. Balance the WAN: heterogeneous connections + throttling, planned
+    //    straight from the predicted source.
     let wanify = Wanify::new(WanifyConfig::default());
-    let plan = wanify.plan(&predicted);
+    let plan = wanify.plan(&mut predictor, &mut sim).expect("predictor matches topology");
     println!("optimized connections (max window):");
     println!("{}", plan.max_cons.to_f64().render(&labels));
-    let before = runtime.bw.min_off_diag();
+    let before = runtime.min_off_diag();
     for (i, j, cap) in plan.initial_throttles.iter_pairs() {
         if cap.is_finite() {
             sim.set_throttle(wanify_netsim::DcId(i), wanify_netsim::DcId(j), cap);

@@ -8,16 +8,13 @@
 //! cargo run --release -p wanify-experiments --example terasort_geo [input_gb]
 //! ```
 
-use wanify_experiments::common::{run_wanified, Effort, ExpEnv, WanifyMode};
+use wanify_experiments::common::{run_wanified, Belief, Effort, ExpEnv, WanifyMode};
 use wanify_gda::{run_job, DataLayout, TransferOptions, VanillaSpark};
 use wanify_netsim::ConnMatrix;
 use wanify_workloads::terasort;
 
 fn main() {
-    let input_gb: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(25.0);
+    let input_gb: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(25.0);
     println!("TeraSort over {input_gb} GB on 8 geo-distributed DCs\n");
 
     let env = ExpEnv::new(8, Effort::Quick, 11);
@@ -26,8 +23,7 @@ fn main() {
 
     // Vanilla Spark: locality-aware, single connection per DC pair.
     let mut sim = env.sim(0);
-    let belief = env.static_independent(&mut sim);
-    let vanilla = run_job(&mut sim, &job, &sched, &belief, TransferOptions::default());
+    let vanilla = env.run_baseline(&mut sim, &job, &sched, Belief::StaticIndependent);
     println!(
         "vanilla Spark       latency {:>6.0}s  cost {}  min BW {:>5.0} Mbps",
         vanilla.latency_s, vanilla.cost, vanilla.min_bw_mbps
@@ -35,13 +31,12 @@ fn main() {
 
     // Uniform parallelism: 8 connections everywhere (WANify-P).
     let mut sim = env.sim(1);
-    let belief = env.predicted(&mut sim);
     let conns = ConnMatrix::from_fn(8, |i, j| if i == j { 1 } else { 8 });
     let uniform = run_job(
         &mut sim,
         &job,
         &sched,
-        &belief,
+        env.source(Belief::Predicted).as_mut(),
         TransferOptions { conns: Some(&conns), hook: None },
     );
     println!(
@@ -51,8 +46,14 @@ fn main() {
 
     // Full WANify: heterogeneous connections + agents + throttling.
     let mut sim = env.sim(2);
-    let belief = env.predicted(&mut sim);
-    let wanified = run_wanified(&mut sim, &job, &sched, &belief, WanifyMode::full(), None);
+    let wanified = run_wanified(
+        &mut sim,
+        &job,
+        &sched,
+        env.source(Belief::Predicted).as_mut(),
+        WanifyMode::full(),
+        None,
+    );
     println!(
         "WANify (TC)         latency {:>6.0}s  cost {}  min BW {:>5.0} Mbps",
         wanified.latency_s, wanified.cost, wanified.min_bw_mbps

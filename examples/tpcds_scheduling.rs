@@ -9,8 +9,8 @@
 //! cargo run --release -p wanify-experiments --example tpcds_scheduling [q82|q95|q11|q78]
 //! ```
 
-use wanify_experiments::common::{run_wanified, Effort, ExpEnv, WanifyMode};
-use wanify_gda::{run_job, Kimchi, Scheduler, Tetrium, TransferOptions};
+use wanify_experiments::common::{run_wanified, Belief, Effort, ExpEnv, WanifyMode};
+use wanify_gda::{Kimchi, Scheduler, Tetrium};
 use wanify_workloads::TpcDsQuery;
 
 fn main() {
@@ -29,31 +29,29 @@ fn main() {
 
     for sched in &schedulers {
         println!("--- scheduler: {} ---", sched.name());
-        for belief_name in ["static-independent", "static-simultaneous", "predicted"] {
+        for belief in [Belief::StaticIndependent, Belief::StaticSimultaneous, Belief::Predicted] {
             let mut sim = env.sim(5);
-            let belief = match belief_name {
-                "static-independent" => env.static_independent(&mut sim),
-                "static-simultaneous" => env.static_simultaneous(&mut sim),
-                _ => env.predicted(&mut sim),
-            };
-            let report =
-                run_job(&mut sim, &job, sched.as_ref(), &belief, TransferOptions::default());
+            let report = env.run_baseline(&mut sim, &job, sched.as_ref(), belief);
             println!(
-                "  {belief_name:<22} latency {:>6.1}s  cost {}",
-                report.latency_s, report.cost
+                "  {:<22} latency {:>6.1}s  cost {}",
+                belief.label(),
+                report.latency_s,
+                report.cost
             );
         }
         // And the full WANify treatment on top of the predicted belief.
         let mut sim = env.sim(5);
-        let predicted = env.predicted(&mut sim);
-        let wanified =
-            run_wanified(&mut sim, &job, sched.as_ref(), &predicted, WanifyMode::full(), None);
+        let wanified = run_wanified(
+            &mut sim,
+            &job,
+            sched.as_ref(),
+            env.source(Belief::Predicted).as_mut(),
+            WanifyMode::full(),
+            None,
+        );
         println!(
             "  {:<22} latency {:>6.1}s  cost {}  (min BW {:.0} Mbps)\n",
-            "predicted + WANify",
-            wanified.latency_s,
-            wanified.cost,
-            wanified.min_bw_mbps
+            "predicted + WANify", wanified.latency_s, wanified.cost, wanified.min_bw_mbps
         );
     }
 }

@@ -1,0 +1,304 @@
+//! Minimal, self-contained stand-in for the parts of the `rayon` API this
+//! workspace uses: `par_iter`/`into_par_iter` + `map` + `collect`/`sum`,
+//! and `ThreadPoolBuilder::num_threads(..).build().install(..)`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this shim as a path dependency under the `rayon` crate name.
+//!
+//! Execution model: items are materialized up front, then a crew of scoped
+//! OS threads drains an atomic work cursor (dynamic load balancing).
+//! Results are written back by item index, so **output order — and
+//! therefore every deterministic computation built on it — is identical
+//! whatever the thread count**. The crew size comes from, in priority
+//! order: the innermost active [`ThreadPool::install`], the
+//! `RAYON_NUM_THREADS` environment variable, then
+//! `std::thread::available_parallelism()`.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! Traits that make `.par_iter()` / `.into_par_iter()` available.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+thread_local! {
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads the next parallel call will use.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = INSTALLED_THREADS.with(Cell::get) {
+        return n;
+    }
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for explicit pool sizing.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker-thread count (0 = automatic).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the shim; the `Result` mirrors rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// Error type mirroring `rayon::ThreadPoolBuildError` (never produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A handle fixing the thread count for closures run under [`install`].
+///
+/// [`install`]: ThreadPool::install
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing every parallel
+    /// call it makes (on this thread).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let previous = INSTALLED_THREADS.with(|c| c.replace(self.num_threads));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(previous);
+        op()
+    }
+}
+
+/// The core engine: applies `f` to every item, in parallel, preserving
+/// input order in the output.
+fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i].lock().expect("uncontended slot").take();
+                let item = item.expect("each slot is drained exactly once");
+                let r = f(item);
+                *out[i].lock().expect("uncontended slot") = Some(r);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| m.into_inner().expect("worker panics propagate via scope").expect("slot filled"))
+        .collect()
+}
+
+/// A parallel iterator over materialized items.
+///
+/// Unlike real rayon this shim is eager about the item list but lazy about
+/// the mapped computation, which is where the work lives for every use in
+/// this workspace.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel (lazily, at `collect`/`sum`).
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap { items: self.items, f }
+    }
+
+    /// Collects the unmapped items (only `Vec` is supported).
+    pub fn collect<C: FromParallelIterator<T>>(self) -> C {
+        C::from_run(self.items)
+    }
+}
+
+/// A [`ParIter`] with a pending `map` stage.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    /// Runs the map on the crew and returns results in input order.
+    fn run(self) -> Vec<R> {
+        parallel_map(self.items, self.f)
+    }
+
+    /// Chains another map stage (materializes the current one first).
+    pub fn map<R2: Send, G: Fn(R) -> R2 + Sync>(self, g: G) -> ParMap<R, G> {
+        ParMap { items: self.run(), f: g }
+    }
+
+    /// Collects the results (only `Vec` is supported).
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        C::from_run(self.run())
+    }
+
+    /// Sums the results in input order (deterministic for floats).
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+}
+
+/// Conversion from a finished parallel run (mirrors rayon's
+/// `FromParallelIterator`; only `Vec` is provided).
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from ordered results.
+    fn from_run(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_run(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// By-value conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+    /// Converts `self`.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// By-reference conversion into a parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type of the resulting iterator (a reference).
+    type Item: Send;
+    /// Converts `&self`.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000usize).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let data = vec![1.5f64, 2.5, 3.5];
+        let v: Vec<f64> = data.par_iter().map(|&x| x + 1.0).collect();
+        assert_eq!(v, vec![2.5, 3.5, 4.5]);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+        let single = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let v: Vec<u64> = single.install(|| (0..64u64).into_par_iter().map(|i| i * i).collect());
+        assert_eq!(v[63], 63 * 63);
+    }
+
+    #[test]
+    fn chained_maps_compose() {
+        let v: Vec<usize> = (0..16usize).into_par_iter().map(|i| i + 1).map(|i| i * 10).collect();
+        assert_eq!(v[0], 10);
+        assert_eq!(v[15], 160);
+    }
+
+    #[test]
+    fn deterministic_sum_across_thread_counts() {
+        let sum_with = |threads: usize| -> f64 {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| (0..10_000usize).into_par_iter().map(|i| (i as f64).sqrt().sin()).sum())
+        };
+        assert_eq!(sum_with(1).to_bits(), sum_with(7).to_bits());
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            let _: Vec<usize> = (0..8usize)
+                .into_par_iter()
+                .map(|i| if i == 5 { panic!("boom") } else { i })
+                .collect();
+        });
+    }
+}

@@ -1,7 +1,9 @@
 //! End-to-end integration: netsim → prediction → planning → execution.
 
-use wanify::{BandwidthAnalyzer, Wanify, WanPredictionModel, WanifyConfig};
-use wanify_experiments::common::{run_wanified, Effort, ExpEnv, WanifyMode};
+use wanify::{
+    BandwidthAnalyzer, PredictedRuntime, Pregauged, WanPredictionModel, Wanify, WanifyConfig,
+};
+use wanify_experiments::common::{run_wanified, Belief, Effort, ExpEnv, WanifyMode};
 use wanify_gda::{run_job, DataLayout, Tetrium, TransferOptions, VanillaSpark};
 use wanify_netsim::{paper_testbed_n, ConnMatrix, LinkModelParams, NetSim, VmType};
 use wanify_workloads::terasort;
@@ -16,12 +18,17 @@ fn full_pipeline_beats_static_baseline() {
     let sched = VanillaSpark::new();
 
     let mut sim = env.sim(0);
-    let static_bw = env.static_independent(&mut sim);
-    let baseline = run_job(&mut sim, &job, &sched, &static_bw, TransferOptions::default());
+    let baseline = env.run_baseline(&mut sim, &job, &sched, Belief::StaticIndependent);
 
     let mut sim = env.sim(1);
-    let predicted = env.predicted(&mut sim);
-    let wanified = run_wanified(&mut sim, &job, &sched, &predicted, WanifyMode::full(), None);
+    let wanified = run_wanified(
+        &mut sim,
+        &job,
+        &sched,
+        env.source(Belief::Predicted).as_mut(),
+        WanifyMode::full(),
+        None,
+    );
 
     assert!(
         wanified.latency_s < baseline.latency_s,
@@ -44,15 +51,14 @@ fn predicted_matrix_feeds_planning_for_unseen_cluster_size() {
     let data = analyzer.collect(&[3, 5], 88);
     let model = WanPredictionModel::train(&data, 30, 2);
 
-    // Size 4 was never trained on (§3.3.2 generalization).
-    let mut sim = NetSim::new(
-        paper_testbed_n(VmType::t2_medium(), 4),
-        LinkModelParams::default(),
-        99,
-    );
-    let snapshot = sim.snapshot(&ConnMatrix::filled(4, 1));
-    let predicted = model.predict_matrix(&snapshot, sim.topology()).expect("sizes match");
-    let plan = Wanify::new(WanifyConfig::default()).plan(&predicted);
+    // Size 4 was never trained on (§3.3.2 generalization); the predicted
+    // source feeds planning directly through the provenance-agnostic API.
+    let mut sim =
+        NetSim::new(paper_testbed_n(VmType::t2_medium(), 4), LinkModelParams::default(), 99);
+    let mut source = PredictedRuntime::new(model);
+    let plan = Wanify::new(WanifyConfig::default())
+        .plan(&mut source, &mut sim)
+        .expect("model generalizes to the unseen size");
     assert_eq!(plan.max_cons.len(), 4);
     assert!(plan.max_cons.iter_pairs().any(|(_, _, c)| c > 1));
 }
@@ -63,9 +69,10 @@ fn predicted_matrix_feeds_planning_for_unseen_cluster_size() {
 fn agents_adjust_connections_during_execution() {
     let env = ExpEnv::new(4, Effort::Quick, 505);
     let mut sim = env.sim(0);
-    let predicted = env.predicted(&mut sim);
     let wanify = Wanify::new(WanifyConfig::default());
-    let plan = wanify.plan(&predicted);
+    let plan = wanify
+        .plan(env.source(Belief::Predicted).as_mut(), &mut sim)
+        .expect("predicted source matches topology");
     let mut agent = wanify.agent(&plan).traced(0);
     let job = terasort::job(DataLayout::uniform(4, 10.0));
     let conns = plan.initial_conns().clone();
@@ -73,7 +80,7 @@ fn agents_adjust_connections_during_execution() {
         &mut sim,
         &job,
         &Tetrium::new(),
-        plan.achievable_bw(),
+        &mut Pregauged::named(plan.achievable_bw().clone(), "wanify(predicted)"),
         TransferOptions { conns: Some(&conns), hook: Some(&mut agent) },
     );
     assert!(agent.updates() > 0, "agents must run during the shuffle");
@@ -86,13 +93,12 @@ fn end_to_end_determinism() {
     let run = || {
         let env = ExpEnv::new(4, Effort::Quick, 606);
         let mut sim = env.sim(0);
-        let predicted = env.predicted(&mut sim);
         let job = terasort::job(DataLayout::uniform(4, 5.0));
         let r = run_wanified(
             &mut sim,
             &job,
             &VanillaSpark::new(),
-            &predicted,
+            env.source(Belief::Predicted).as_mut(),
             WanifyMode::full(),
             None,
         );
@@ -122,10 +128,10 @@ fn multi_cloud_refactoring_end_to_end() {
     let mut sim = NetSim::new(topo, LinkModelParams::default(), 909);
     let runtime = sim.measure_runtime(&ConnMatrix::filled(4, 1), 20).bw;
     let wanify = Wanify::new(WanifyConfig { rvec: Some(rvec), ..WanifyConfig::default() });
-    let plan = wanify.plan(&runtime);
+    let plan = wanify.plan_matrix(&runtime);
 
     // rvec scales achievable bandwidth for cross-provider pairs only.
-    let base = Wanify::new(WanifyConfig::default()).plan(&runtime);
+    let base = Wanify::new(WanifyConfig::default()).plan_matrix(&runtime);
     let cross = plan.achievable_bw().get(0, 3) / base.achievable_bw().get(0, 3);
     let same = plan.achievable_bw().get(0, 1) / base.achievable_bw().get(0, 1);
     assert!((cross - 0.8).abs() < 1e-9, "cross-provider scaled by rvec: {cross}");

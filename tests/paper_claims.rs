@@ -69,17 +69,9 @@ fn claim_prediction_accuracy() {
 #[test]
 fn claim_prediction_beats_static_across_shapes() {
     let f = fig11::run(Effort::Quick, 42);
-    let s: usize = f
-        .by_cluster_size
-        .iter()
-        .chain(&f.by_extra_vms)
-        .map(|r| r.static_significant)
-        .sum();
-    let p: usize = f
-        .by_cluster_size
-        .iter()
-        .chain(&f.by_extra_vms)
-        .map(|r| r.predicted_significant)
-        .sum();
+    let s: usize =
+        f.by_cluster_size.iter().chain(&f.by_extra_vms).map(|r| r.static_significant).sum();
+    let p: usize =
+        f.by_cluster_size.iter().chain(&f.by_extra_vms).map(|r| r.predicted_significant).sum();
     assert!(p < s, "predicted {p} significant diffs vs static {s}");
 }

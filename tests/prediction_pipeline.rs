@@ -88,16 +88,10 @@ fn staleness_retraining_loop() {
 #[test]
 fn forest_quality_scales_with_ensemble_size() {
     let data: Dataset = analyzer(25).collect(&[4], 6);
-    let small = RandomForest::fit(
-        &data,
-        &ForestParams { n_estimators: 5, ..ForestParams::default() },
-        7,
-    );
-    let large = RandomForest::fit(
-        &data,
-        &ForestParams { n_estimators: 50, ..ForestParams::default() },
-        7,
-    );
+    let small =
+        RandomForest::fit(&data, &ForestParams { n_estimators: 5, ..ForestParams::default() }, 7);
+    let large =
+        RandomForest::fit(&data, &ForestParams { n_estimators: 50, ..ForestParams::default() }, 7);
     let small_oob = small.oob_mae(&data).unwrap();
     let large_oob = large.oob_mae(&data).unwrap();
     assert!(large_oob <= small_oob * 1.1, "50 trees ({large_oob}) vs 5 ({small_oob})");

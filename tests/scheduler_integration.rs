@@ -1,6 +1,7 @@
 //! Cross-crate scheduler behaviour on the live simulator.
 
-use wanify_experiments::common::{Effort, ExpEnv};
+use wanify::Pregauged;
+use wanify_experiments::common::{Belief, Effort, ExpEnv};
 use wanify_gda::{run_job, Kimchi, Scheduler, Tetrium, TransferOptions, VanillaSpark};
 use wanify_netsim::BwMatrix;
 use wanify_workloads::{terasort, TpcDsQuery};
@@ -16,16 +17,12 @@ fn wan_aware_schedulers_beat_vanilla_on_terasort() {
         vec![Box::new(VanillaSpark::new()), Box::new(Tetrium::new()), Box::new(Kimchi::new())];
     for sched in &schedulers {
         let mut sim = env.sim(0);
-        let belief = env.static_simultaneous(&mut sim);
-        let r = run_job(&mut sim, &job, sched.as_ref(), &belief, TransferOptions::default());
+        let r = env.run_baseline(&mut sim, &job, sched.as_ref(), Belief::StaticSimultaneous);
         latencies.push((sched.name().to_string(), r.latency_s));
     }
     let vanilla = latencies[0].1;
     for (name, lat) in &latencies[1..] {
-        assert!(
-            *lat <= vanilla * 1.02,
-            "{name} ({lat}s) should not lose to vanilla ({vanilla}s)"
-        );
+        assert!(*lat <= vanilla * 1.02, "{name} ({lat}s) should not lose to vanilla ({vanilla}s)");
     }
 }
 
@@ -47,8 +44,7 @@ fn kimchi_trades_latency_for_cost() {
     );
     let run_with = |sched: &dyn Scheduler, run_id: u64| {
         let mut sim = env.sim(run_id);
-        let belief = env.static_simultaneous(&mut sim);
-        run_job(&mut sim, &job, sched, &belief, TransferOptions::default())
+        env.run_baseline(&mut sim, &job, sched, Belief::StaticSimultaneous)
     };
     let tetrium = run_with(&Tetrium::new(), 0);
     let kimchi = run_with(&Kimchi::new(), 0);
@@ -72,7 +68,13 @@ fn schedulers_survive_degenerate_beliefs() {
         BwMatrix::from_fn(4, |i, j| if i == j { 0.0 } else { 1.0 }),
     ] {
         let mut sim = env.sim(0);
-        let r = run_job(&mut sim, &job, &Tetrium::new(), &matrix, TransferOptions::default());
+        let r = run_job(
+            &mut sim,
+            &job,
+            &Tetrium::new(),
+            &mut Pregauged::from(matrix),
+            TransferOptions::default(),
+        );
         assert!(r.latency_s.is_finite() && r.latency_s > 0.0);
     }
 }
@@ -94,7 +96,13 @@ fn tetrium_migration_registers_in_the_report() {
         }
     });
     let mut sim = env.sim(0);
-    let migrating = run_job(&mut sim, &job, &Tetrium::new(), &belief, TransferOptions::default());
+    let migrating = run_job(
+        &mut sim,
+        &job,
+        &Tetrium::new(),
+        &mut Pregauged::from(belief),
+        TransferOptions::default(),
+    );
     // DC2 must have exported its share of the input over the WAN.
     assert!(
         migrating.egress_gb[2] >= 0.9,
