@@ -1,0 +1,114 @@
+//! Emits `BENCH_netsim.json`: the tracked perf baseline for the netsim
+//! hot path.
+//!
+//! Measures (a) the weighted max-min solver in ns/iter through the
+//! zero-alloc `RateScratch` path, and (b) `run_transfers` on a
+//! long-transfer 8-DC workload twice — once on the event-coalescing fast
+//! path and once forced onto per-epoch stepping with a do-nothing hook,
+//! which reproduces the pre-coalescing loop's solve-per-epoch cost model.
+//! The ratio of the two wall-clock times is the coalescing speedup future
+//! PRs must not regress.
+//!
+//! Usage: `bench_netsim [--smoke] [--out PATH]`
+//!   --smoke   small workload + few iterations (CI); skips writing JSON
+//!             unless --out is given explicitly.
+//!   --out     output path (default `BENCH_netsim.json`, full mode only).
+
+use std::time::Instant;
+use wanify_bench::{all_pair_flows, all_pair_transfers, frozen_sim, NoopHook};
+use wanify_netsim::{ConnMatrix, RateScratch, RunStats, Transfer};
+
+struct TransferTiming {
+    wall_s: f64,
+    epochs: u64,
+    stats: RunStats,
+    makespan_s: f64,
+}
+
+fn time_run(transfers: &[Transfer], conns: &ConnMatrix, per_epoch: bool) -> TransferTiming {
+    let mut sim = frozen_sim(conns.len());
+    let mut hook = NoopHook;
+    let start = Instant::now();
+    let report = if per_epoch {
+        sim.run_transfers(transfers, conns, Some(&mut hook))
+    } else {
+        sim.run_transfers(transfers, conns, None)
+    };
+    let wall_s = start.elapsed().as_secs_f64();
+    TransferTiming {
+        wall_s,
+        epochs: report.epochs as u64,
+        stats: sim.last_run_stats(),
+        makespan_s: report.makespan_s,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = match args.iter().position(|a| a == "--out") {
+        Some(i) => match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => Some(path.clone()),
+            _ => {
+                eprintln!("error: --out requires a path argument");
+                std::process::exit(2);
+            }
+        },
+        None => (!smoke).then(|| "BENCH_netsim.json".to_string()),
+    };
+
+    // (a) Solver throughput via the zero-alloc scratch path.
+    let sim = frozen_sim(8);
+    let flows = all_pair_flows(8, 4);
+    let mut scratch = RateScratch::default();
+    let solver_iters: u32 = if smoke { 200 } else { 5_000 };
+    // Warm the buffers so the timed loop is allocation-free.
+    let _ = sim.allocate_rates_with(&flows, &mut scratch);
+    let start = Instant::now();
+    let mut acc = 0.0f64;
+    for _ in 0..solver_iters {
+        acc += sim.allocate_rates_with(&flows, &mut scratch)[0];
+    }
+    let solver_ns_per_iter = start.elapsed().as_nanos() as f64 / f64::from(solver_iters);
+    assert!(acc > 0.0, "solver produced no bandwidth");
+
+    // (b) Long-transfer workload, coalesced vs per-epoch stepping.
+    // Full mode sizes the slowest pair past 1000 simulated seconds, the
+    // regime the event-coalescing loop is built for.
+    let payload_gb = if smoke { 4.0 } else { 160.0 };
+    let transfers = all_pair_transfers(8, payload_gb);
+    let conns = ConnMatrix::filled(8, 2);
+    let coalesced = time_run(&transfers, &conns, false);
+    let per_epoch = time_run(&transfers, &conns, true);
+    assert_eq!(coalesced.epochs, per_epoch.epochs, "modes must simulate identical epochs");
+    assert_eq!(
+        coalesced.makespan_s.to_bits(),
+        per_epoch.makespan_s.to_bits(),
+        "modes must agree bit-for-bit"
+    );
+    let speedup = per_epoch.wall_s / coalesced.wall_s.max(1e-12);
+
+    let json = format!(
+        "{{\n  \"bench\": \"netsim\",\n  \"mode\": \"{}\",\n  \"solver\": {{\n    \"workload\": \"8dc_all_pairs_4conn\",\n    \"ns_per_iter\": {:.1}\n  }},\n  \"run_transfers_long\": {{\n    \"workload\": \"8dc_all_pairs_{}gb\",\n    \"simulated_epochs\": {},\n    \"makespan_s\": {:.1},\n    \"coalesced\": {{ \"wall_s\": {:.6}, \"solves\": {}, \"epochs_per_wall_s\": {:.0} }},\n    \"per_epoch\": {{ \"wall_s\": {:.6}, \"solves\": {}, \"epochs_per_wall_s\": {:.0} }},\n    \"speedup\": {:.1}\n  }}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        solver_ns_per_iter,
+        payload_gb,
+        coalesced.epochs,
+        coalesced.makespan_s,
+        coalesced.wall_s,
+        coalesced.stats.solves,
+        coalesced.epochs as f64 / coalesced.wall_s.max(1e-12),
+        per_epoch.wall_s,
+        per_epoch.stats.solves,
+        per_epoch.epochs as f64 / per_epoch.wall_s.max(1e-12),
+        speedup,
+    );
+    print!("{json}");
+    if let Some(path) = out {
+        std::fs::write(&path, &json).expect("write benchmark JSON");
+        eprintln!("wrote {path}");
+    }
+    if !smoke {
+        assert!(speedup >= 10.0, "coalescing speedup regressed below 10x: {speedup:.1}x");
+    }
+}

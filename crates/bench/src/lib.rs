@@ -1,1 +1,51 @@
-//! Criterion benches live in benches/; this lib is intentionally empty.
+//! Shared workload builders for the netsim perf targets.
+//!
+//! Both `benches/netsim_core.rs` and the `bench_netsim` baseline runner
+//! measure the same 8-DC all-pairs workload; defining it once here keeps
+//! the criterion microbenches and the committed `BENCH_netsim.json`
+//! trajectory comparable over time.
+
+use wanify_netsim::{
+    paper_testbed_n, DcId, EpochCtx, EpochHook, FlowSpec, LinkModelParams, NetSim, Transfer, VmType,
+};
+
+/// A hook that does nothing — forces `run_transfers` onto the per-epoch
+/// path (one fairness solve per epoch, the pre-coalescing cost model)
+/// while leaving results bit-identical.
+pub struct NoopHook;
+
+impl EpochHook for NoopHook {
+    fn on_epoch(&mut self, _ctx: &mut EpochCtx<'_>) {}
+}
+
+/// A frozen-dynamics simulator on the first `n` paper regions — the
+/// standard perf-measurement environment (coalescing-eligible).
+pub fn frozen_sim(n: usize) -> NetSim {
+    NetSim::new(paper_testbed_n(VmType::t2_medium(), n), LinkModelParams::frozen(), 11)
+}
+
+/// Every directed WAN pair of an `n`-DC cluster with `conns` connections.
+pub fn all_pair_flows(n: usize, conns: u32) -> Vec<FlowSpec> {
+    let mut flows = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                flows.push(FlowSpec::new(DcId(i), DcId(j), conns));
+            }
+        }
+    }
+    flows
+}
+
+/// A `gb`-gigabit transfer on every directed WAN pair of an `n`-DC cluster.
+pub fn all_pair_transfers(n: usize, gb: f64) -> Vec<Transfer> {
+    let mut ts = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                ts.push(Transfer::new(DcId(i), DcId(j), gb));
+            }
+        }
+    }
+    ts
+}

@@ -79,7 +79,7 @@ pub fn run_job<S: BandwidthSource + ?Sized>(
     let n = sim.topology().len();
     assert_eq!(job.layout.len(), n, "job layout must cover every DC");
     let single_conns = ConnMatrix::filled(n, 1);
-    let conns = opts.conns.cloned().unwrap_or_else(|| single_conns.clone());
+    let conns = opts.conns.unwrap_or(&single_conns);
 
     let mut data_gb: Vec<f64> = (0..n).map(|i| job.layout.gb_at(i)).collect();
     let mut latency_s = 0.0;
@@ -151,7 +151,7 @@ pub fn run_job<S: BandwidthSource + ?Sized>(
                 }
             }
             if !transfers.is_empty() {
-                let report = sim.run_transfers(&transfers, &conns, opts.hook.as_deref_mut());
+                let report = sim.run_transfers(&transfers, conns, opts.hook.as_deref_mut());
                 latency_s += report.makespan_s;
                 min_bw = min_bw.min(report.min_pair_bw_mbps);
                 for (i, gb) in report.egress_gigabits.iter().enumerate() {

@@ -31,6 +31,13 @@ impl Dynamics {
         Self { multipliers: Grid::filled(n, 1.0), sigma, theta }
     }
 
+    /// Whether the dynamics are frozen (`sigma == 0`): multipliers stay
+    /// pinned at 1.0 and [`Dynamics::advance`] consumes no randomness —
+    /// the precondition for `run_transfers`' event-coalescing fast path.
+    pub fn is_frozen(&self) -> bool {
+        self.sigma == 0.0
+    }
+
     /// Current multiplier for the directed pair `(i, j)`.
     pub fn multiplier(&self, i: usize, j: usize) -> f64 {
         if i == j {

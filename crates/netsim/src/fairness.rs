@@ -6,6 +6,25 @@
 //! backbone paths — are divided. The simulator divides them with classic
 //! progressive filling, weighted by each flow's TCP bias
 //! (`connections / RTT^alpha`), subject to per-flow window ceilings.
+//!
+//! # Hot-path design
+//!
+//! The solver sits in the inner loop of [`crate::NetSim::run_transfers`]
+//! and of every probe, so both the problem and the solver are built for
+//! reuse:
+//!
+//! * [`FairnessProblem`] stores resource membership as CSR-style flat
+//!   arrays (one shared member vector plus per-resource offsets) instead
+//!   of a `Vec<Vec<usize>>`, and [`FairnessProblem::clear`] resets it
+//!   without releasing capacity.
+//! * [`FairnessWorkspace`] owns every buffer a solve needs (rates,
+//!   active flags, per-resource `used` and active-weight sums, and the
+//!   flow→resource CSR adjacency); repeated [`FairnessWorkspace::solve`]
+//!   calls are allocation-free once the buffers have grown to size.
+//! * Each progressive-filling round updates `used` and the active-weight
+//!   sums incrementally — O(resources) per round plus O(membership
+//!   degree) once per flow when it freezes — rather than re-summing every
+//!   member of every resource each round.
 
 /// Identifies a capacity-constrained resource.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -18,15 +37,6 @@ pub enum ResourceKind {
     Path(usize, usize),
 }
 
-/// One capacity constraint and the flows it applies to.
-#[derive(Debug, Clone)]
-struct Resource {
-    #[allow(dead_code)] // diagnostic only: surfaces in Debug output and test failure messages
-    kind: ResourceKind,
-    capacity_mbps: f64,
-    members: Vec<usize>,
-}
-
 /// A weighted max-min allocation problem.
 ///
 /// Flows are referenced by their index in insertion order. Each flow has a
@@ -36,13 +46,28 @@ struct Resource {
 pub struct FairnessProblem {
     weights: Vec<f64>,
     ceilings: Vec<f64>,
-    resources: Vec<Resource>,
+    res_kinds: Vec<ResourceKind>,
+    res_caps: Vec<f64>,
+    /// CSR offsets into `members`; resource `r` owns
+    /// `members[res_bounds[r]..res_bounds[r + 1]]`.
+    res_bounds: Vec<usize>,
+    members: Vec<usize>,
 }
 
 impl FairnessProblem {
     /// Creates an empty problem.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empties the problem while keeping its allocations for reuse.
+    pub fn clear(&mut self) {
+        self.weights.clear();
+        self.ceilings.clear();
+        self.res_kinds.clear();
+        self.res_caps.clear();
+        self.res_bounds.clear();
+        self.members.clear();
     }
 
     /// Adds a flow and returns its index.
@@ -60,84 +85,231 @@ impl FairnessProblem {
     /// # Panics
     ///
     /// Panics if any member index does not refer to an added flow.
-    pub fn add_resource(&mut self, kind: ResourceKind, capacity_mbps: f64, members: Vec<usize>) {
-        for &m in &members {
-            assert!(m < self.weights.len(), "resource member {m} refers to an unknown flow");
+    pub fn add_resource(&mut self, kind: ResourceKind, capacity_mbps: f64, members: &[usize]) {
+        self.add_resource_with(kind, capacity_mbps, members.iter().copied());
+    }
+
+    /// Adds a resource whose members come from an iterator, copying them
+    /// straight into the flat membership array (no intermediate `Vec`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any member index does not refer to an added flow.
+    pub fn add_resource_with(
+        &mut self,
+        kind: ResourceKind,
+        capacity_mbps: f64,
+        members: impl IntoIterator<Item = usize>,
+    ) {
+        if self.res_bounds.is_empty() {
+            self.res_bounds.push(0);
         }
-        self.resources.push(Resource { kind, capacity_mbps: capacity_mbps.max(0.0), members });
+        for m in members {
+            assert!(m < self.weights.len(), "resource member {m} refers to an unknown flow");
+            self.members.push(m);
+        }
+        self.res_kinds.push(kind);
+        self.res_caps.push(capacity_mbps.max(0.0));
+        self.res_bounds.push(self.members.len());
     }
 
     /// Number of flows.
     pub fn flow_count(&self) -> usize {
         self.weights.len()
     }
+
+    /// Number of resources.
+    pub fn resource_count(&self) -> usize {
+        self.res_caps.len()
+    }
+
+    /// Member flows of resource `r`.
+    fn members_of(&self, r: usize) -> &[usize] {
+        &self.members[self.res_bounds[r]..self.res_bounds[r + 1]]
+    }
+
+    /// Iterates over `(kind, capacity_mbps, members)` for every resource.
+    pub fn resources(&self) -> impl Iterator<Item = (ResourceKind, f64, &[usize])> + '_ {
+        (0..self.resource_count())
+            .map(|r| (self.res_kinds[r], self.res_caps[r], self.members_of(r)))
+    }
+}
+
+/// Reusable buffers for [`allocate_max_min`]-style solves.
+///
+/// One workspace can serve any sequence of problems; buffers grow to the
+/// high-water mark and are then reused without further allocation.
+#[derive(Debug, Clone, Default)]
+pub struct FairnessWorkspace {
+    rates: Vec<f64>,
+    active: Vec<bool>,
+    /// Incrementally maintained bandwidth consumed per resource.
+    used: Vec<f64>,
+    /// Incrementally maintained sum of active member weights per resource.
+    active_w: Vec<f64>,
+    /// Active member count per resource; when it reaches zero `active_w`
+    /// is pinned to exactly 0.0, so float residue from the incremental
+    /// subtractions can never leave a ghost resource binding `t_star`.
+    active_n: Vec<usize>,
+    /// CSR adjacency flow → resources (offsets + flat resource indices).
+    flow_res_bounds: Vec<usize>,
+    flow_res: Vec<usize>,
+    cursor: Vec<usize>,
+}
+
+impl FairnessWorkspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-flow rates of the most recent [`FairnessWorkspace::solve`].
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Deactivates flow `f`, removing its weight from every resource it
+    /// belongs to and folding `rate_delta` (a ceiling clamp correction)
+    /// into those resources' `used` sums.
+    fn freeze_flow(&mut self, f: usize, weight: f64, rate_delta: f64) {
+        self.active[f] = false;
+        for k in self.flow_res_bounds[f]..self.flow_res_bounds[f + 1] {
+            let r = self.flow_res[k];
+            self.used[r] += rate_delta;
+            self.active_n[r] -= 1;
+            self.active_w[r] =
+                if self.active_n[r] == 0 { 0.0 } else { (self.active_w[r] - weight).max(0.0) };
+        }
+    }
+
+    /// Solves `problem` by progressive filling; returns per-flow rates in
+    /// Mbps (also available afterwards via [`FairnessWorkspace::rates`]).
+    ///
+    /// Properties (checked by tests below):
+    /// * no resource is oversubscribed;
+    /// * no flow exceeds its ceiling;
+    /// * the allocation is max-min fair w.r.t. the weights: a flow is only
+    ///   below its proportional share if a ceiling or a saturated resource
+    ///   binds it.
+    pub fn solve(&mut self, problem: &FairnessProblem) -> &[f64] {
+        const EPS: f64 = 1e-9;
+        let n = problem.flow_count();
+        let nr = problem.resource_count();
+
+        self.rates.clear();
+        self.rates.resize(n, 0.0);
+        self.active.clear();
+        self.active.resize(n, false);
+        self.used.clear();
+        self.used.resize(nr, 0.0);
+        self.active_w.clear();
+        self.active_w.resize(nr, 0.0);
+        self.active_n.clear();
+        self.active_n.resize(nr, 0);
+
+        // Flow → resource CSR adjacency via a counting sort over members.
+        self.flow_res_bounds.clear();
+        self.flow_res_bounds.resize(n + 1, 0);
+        for &m in &problem.members {
+            self.flow_res_bounds[m + 1] += 1;
+        }
+        for f in 0..n {
+            self.flow_res_bounds[f + 1] += self.flow_res_bounds[f];
+        }
+        self.flow_res.clear();
+        self.flow_res.resize(problem.members.len(), 0);
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.flow_res_bounds[..n]);
+        for r in 0..nr {
+            for &m in problem.members_of(r) {
+                self.flow_res[self.cursor[m]] = r;
+                self.cursor[m] += 1;
+            }
+        }
+
+        let mut active_count = 0usize;
+        for f in 0..n {
+            if problem.weights[f] > EPS && problem.ceilings[f] > EPS {
+                self.active[f] = true;
+                active_count += 1;
+            }
+        }
+        for r in 0..nr {
+            let active_members = problem.members_of(r).iter().filter(|&&m| self.active[m]);
+            self.active_n[r] = active_members.clone().count();
+            self.active_w[r] = active_members.map(|&m| problem.weights[m]).sum();
+        }
+
+        // Each round saturates at least one flow or resource, so the loop
+        // runs at most flows + resources times.
+        for _ in 0..(n + nr + 1) {
+            if active_count == 0 {
+                break;
+            }
+            // Smallest normalized headroom across ceilings and resources.
+            let mut t_star = f64::INFINITY;
+            for f in 0..n {
+                if self.active[f] {
+                    t_star = t_star.min((problem.ceilings[f] - self.rates[f]) / problem.weights[f]);
+                }
+            }
+            for r in 0..nr {
+                if self.active_w[r] > EPS {
+                    t_star = t_star
+                        .min((problem.res_caps[r] - self.used[r]).max(0.0) / self.active_w[r]);
+                }
+            }
+            if !t_star.is_finite() {
+                break;
+            }
+            for f in 0..n {
+                if self.active[f] {
+                    self.rates[f] += problem.weights[f] * t_star;
+                }
+            }
+            for r in 0..nr {
+                if self.active_w[r] > EPS {
+                    self.used[r] += self.active_w[r] * t_star;
+                }
+            }
+            // Freeze flows at their ceiling, then members of saturated
+            // resources; the freeze work is O(membership degree) and each
+            // flow freezes at most once over the whole solve.
+            for f in 0..n {
+                if self.active[f] && self.rates[f] + EPS >= problem.ceilings[f] {
+                    let delta = problem.ceilings[f] - self.rates[f];
+                    self.rates[f] = problem.ceilings[f];
+                    self.freeze_flow(f, problem.weights[f], delta);
+                    active_count -= 1;
+                }
+            }
+            for r in 0..nr {
+                if self.active_w[r] > EPS && self.used[r] + EPS >= problem.res_caps[r] {
+                    for &m in problem.members_of(r) {
+                        if self.active[m] {
+                            self.freeze_flow(m, problem.weights[m], 0.0);
+                            active_count -= 1;
+                        }
+                    }
+                }
+            }
+            if t_star <= EPS {
+                // Numerical stall: everything remaining is effectively frozen.
+                break;
+            }
+        }
+        &self.rates
+    }
 }
 
 /// Solves the problem by progressive filling; returns per-flow rates in Mbps.
 ///
-/// Properties (checked by tests below):
-/// * no resource is oversubscribed;
-/// * no flow exceeds its ceiling;
-/// * the allocation is max-min fair w.r.t. the weights: a flow is only
-///   below its proportional share if a ceiling or a saturated resource
-///   binds it.
+/// Convenience wrapper that allocates a fresh [`FairnessWorkspace`]; hot
+/// paths should hold a workspace and call [`FairnessWorkspace::solve`].
 pub fn allocate_max_min(problem: &FairnessProblem) -> Vec<f64> {
-    const EPS: f64 = 1e-9;
-    let n = problem.flow_count();
-    let mut rates = vec![0.0_f64; n];
-    let mut active: Vec<bool> =
-        (0..n).map(|f| problem.weights[f] > EPS && problem.ceilings[f] > EPS).collect();
-
-    // Each iteration saturates at least one flow or resource, so the loop
-    // runs at most flows + resources times.
-    for _ in 0..(n + problem.resources.len() + 1) {
-        if !active.iter().any(|&a| a) {
-            break;
-        }
-        // Smallest normalized headroom across ceilings and resources.
-        let mut t_star = f64::INFINITY;
-        for f in 0..n {
-            if active[f] {
-                t_star = t_star.min((problem.ceilings[f] - rates[f]) / problem.weights[f]);
-            }
-        }
-        for r in &problem.resources {
-            let used: f64 = r.members.iter().map(|&m| rates[m]).sum();
-            let w: f64 =
-                r.members.iter().filter(|&&m| active[m]).map(|&m| problem.weights[m]).sum();
-            if w > EPS {
-                t_star = t_star.min((r.capacity_mbps - used).max(0.0) / w);
-            }
-        }
-        if !t_star.is_finite() {
-            break;
-        }
-        for f in 0..n {
-            if active[f] {
-                rates[f] += problem.weights[f] * t_star;
-            }
-        }
-        // Freeze flows at their ceiling and members of saturated resources.
-        for f in 0..n {
-            if active[f] && rates[f] + EPS >= problem.ceilings[f] {
-                rates[f] = problem.ceilings[f];
-                active[f] = false;
-            }
-        }
-        for r in &problem.resources {
-            let used: f64 = r.members.iter().map(|&m| rates[m]).sum();
-            if used + EPS >= r.capacity_mbps {
-                for &m in &r.members {
-                    active[m] = false;
-                }
-            }
-        }
-        if t_star <= EPS {
-            // Numerical stall: everything remaining is effectively frozen.
-            break;
-        }
-    }
-    rates
+    let mut ws = FairnessWorkspace::new();
+    ws.solve(problem);
+    ws.rates
 }
 
 #[cfg(test)]
@@ -152,12 +324,12 @@ mod tests {
     fn single_flow_hits_min_of_ceiling_and_capacity() {
         let mut p = FairnessProblem::new();
         let f = p.add_flow(1.0, 500.0);
-        p.add_resource(ResourceKind::Egress(0), 1000.0, vec![f]);
+        p.add_resource(ResourceKind::Egress(0), 1000.0, &[f]);
         assert!((allocate_max_min(&p)[f] - 500.0).abs() < 1e-6);
 
         let mut p = FairnessProblem::new();
         let f = p.add_flow(1.0, 5000.0);
-        p.add_resource(ResourceKind::Egress(0), 1000.0, vec![f]);
+        p.add_resource(ResourceKind::Egress(0), 1000.0, &[f]);
         assert!((allocate_max_min(&p)[f] - 1000.0).abs() < 1e-6);
     }
 
@@ -166,7 +338,7 @@ mod tests {
         let mut p = FairnessProblem::new();
         let a = p.add_flow(1.0, 1e9);
         let b = p.add_flow(1.0, 1e9);
-        p.add_resource(ResourceKind::Egress(0), 1000.0, vec![a, b]);
+        p.add_resource(ResourceKind::Egress(0), 1000.0, &[a, b]);
         let r = allocate_max_min(&p);
         assert!((r[a] - 500.0).abs() < 1e-6 && (r[b] - 500.0).abs() < 1e-6);
     }
@@ -176,7 +348,7 @@ mod tests {
         let mut p = FairnessProblem::new();
         let a = p.add_flow(3.0, 1e9);
         let b = p.add_flow(1.0, 1e9);
-        p.add_resource(ResourceKind::Egress(0), 1000.0, vec![a, b]);
+        p.add_resource(ResourceKind::Egress(0), 1000.0, &[a, b]);
         let r = allocate_max_min(&p);
         assert!((r[a] - 750.0).abs() < 1e-6 && (r[b] - 250.0).abs() < 1e-6);
     }
@@ -186,7 +358,7 @@ mod tests {
         let mut p = FairnessProblem::new();
         let a = p.add_flow(1.0, 100.0); // window-limited
         let b = p.add_flow(1.0, 1e9);
-        p.add_resource(ResourceKind::Egress(0), 1000.0, vec![a, b]);
+        p.add_resource(ResourceKind::Egress(0), 1000.0, &[a, b]);
         let r = allocate_max_min(&p);
         assert!((r[a] - 100.0).abs() < 1e-6);
         assert!((r[b] - 900.0).abs() < 1e-6, "b should absorb a's unused share, got {}", r[b]);
@@ -196,9 +368,9 @@ mod tests {
     fn multiple_resources_bind_the_tightest() {
         let mut p = FairnessProblem::new();
         let a = p.add_flow(1.0, 1e9);
-        p.add_resource(ResourceKind::Egress(0), 800.0, vec![a]);
-        p.add_resource(ResourceKind::Ingress(1), 300.0, vec![a]);
-        p.add_resource(ResourceKind::Path(0, 1), 4000.0, vec![a]);
+        p.add_resource(ResourceKind::Egress(0), 800.0, &[a]);
+        p.add_resource(ResourceKind::Ingress(1), 300.0, &[a]);
+        p.add_resource(ResourceKind::Path(0, 1), 4000.0, &[a]);
         assert!((allocate_max_min(&p)[a] - 300.0).abs() < 1e-6);
     }
 
@@ -207,7 +379,7 @@ mod tests {
         let mut p = FairnessProblem::new();
         let a = p.add_flow(0.0, 1e9);
         let b = p.add_flow(1.0, 1e9);
-        p.add_resource(ResourceKind::Egress(0), 1000.0, vec![a, b]);
+        p.add_resource(ResourceKind::Egress(0), 1000.0, &[a, b]);
         let r = allocate_max_min(&p);
         assert_eq!(r[a], 0.0);
         assert!((r[b] - 1000.0).abs() < 1e-6);
@@ -224,10 +396,116 @@ mod tests {
         let mut p = FairnessProblem::new();
         let near = p.add_flow(4.0, 1e9);
         let far = p.add_flow(1.0, 120.0);
-        p.add_resource(ResourceKind::Egress(0), 1000.0, vec![near, far]);
+        p.add_resource(ResourceKind::Egress(0), 1000.0, &[near, far]);
         let r = allocate_max_min(&p);
         assert!((r[far] - 120.0).abs() < 1e-6);
         assert!((r[near] - 880.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_resets_state() {
+        let mut p = FairnessProblem::new();
+        let a = p.add_flow(1.0, 100.0);
+        p.add_resource(ResourceKind::Egress(0), 50.0, &[a]);
+        p.clear();
+        assert_eq!(p.flow_count(), 0);
+        assert_eq!(p.resource_count(), 0);
+        let b = p.add_flow(1.0, 1e9);
+        p.add_resource(ResourceKind::Egress(0), 700.0, &[b]);
+        assert!((allocate_max_min(&p)[b] - 700.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn huge_weights_leave_no_ghost_resources() {
+        // Float residue from the incremental active-weight subtraction
+        // must not let a saturated resource whose members all froze keep
+        // binding t_star; flows on other resources must still fill up.
+        let mut p = FairnessProblem::new();
+        let a = p.add_flow(1.0e8 / 3.0, 1e9);
+        let b = p.add_flow(1.0e8 / 7.0, 1e9);
+        let c = p.add_flow(1.0, 1e9);
+        p.add_resource(ResourceKind::Egress(0), 500.0, &[a, b]);
+        p.add_resource(ResourceKind::Egress(1), 800.0, &[c]);
+        let fast = allocate_max_min(&p);
+        let slow = reference_solve(&p);
+        for (f, (&x, &y)) in fast.iter().zip(&slow).enumerate() {
+            assert!((x - y).abs() < 1e-6, "flow {f}: incremental {x} vs reference {y}");
+        }
+        assert!((fast[c] - 800.0).abs() < 1e-6, "flow c must fill its own NIC, got {}", fast[c]);
+    }
+
+    #[test]
+    fn workspace_reuse_is_consistent() {
+        let mut ws = FairnessWorkspace::new();
+        let mut big = FairnessProblem::new();
+        for i in 0..20 {
+            let f = big.add_flow(1.0 + i as f64, 1e9);
+            big.add_resource(ResourceKind::Egress(i), 100.0, &[f]);
+        }
+        let first = ws.solve(&big).to_vec();
+
+        // A smaller problem in between must not leak state…
+        let mut small = FairnessProblem::new();
+        let a = small.add_flow(2.0, 1e9);
+        small.add_resource(ResourceKind::Egress(0), 10.0, &[a]);
+        assert!((ws.solve(&small)[a] - 10.0).abs() < 1e-6);
+
+        // …and re-solving the big problem is bit-identical.
+        assert_eq!(ws.solve(&big), first.as_slice());
+    }
+
+    /// Textbook progressive filling with per-round full recomputation —
+    /// the reference the incremental solver is checked against.
+    fn reference_solve(p: &FairnessProblem) -> Vec<f64> {
+        const EPS: f64 = 1e-9;
+        let n = p.flow_count();
+        let mut rates = vec![0.0_f64; n];
+        let mut active: Vec<bool> =
+            (0..n).map(|f| p.weights[f] > EPS && p.ceilings[f] > EPS).collect();
+        for _ in 0..(n + p.resource_count() + 1) {
+            if !active.iter().any(|&a| a) {
+                break;
+            }
+            let mut t_star = f64::INFINITY;
+            for f in 0..n {
+                if active[f] {
+                    t_star = t_star.min((p.ceilings[f] - rates[f]) / p.weights[f]);
+                }
+            }
+            for (_, cap, members) in p.resources() {
+                let used: f64 = members.iter().map(|&m| rates[m]).sum();
+                let w: f64 = members.iter().filter(|&&m| active[m]).map(|&m| p.weights[m]).sum();
+                if w > EPS {
+                    t_star = t_star.min((cap - used).max(0.0) / w);
+                }
+            }
+            if !t_star.is_finite() {
+                break;
+            }
+            for f in 0..n {
+                if active[f] {
+                    rates[f] += p.weights[f] * t_star;
+                }
+            }
+            for f in 0..n {
+                if active[f] && rates[f] + EPS >= p.ceilings[f] {
+                    rates[f] = p.ceilings[f];
+                    active[f] = false;
+                }
+            }
+            for (_, cap, members) in p.resources() {
+                let used: f64 = members.iter().map(|&m| rates[m]).sum();
+                if used + EPS >= cap {
+                    for &m in members {
+                        active[m] = false;
+                    }
+                }
+            }
+            if t_star <= EPS {
+                break;
+            }
+        }
+        rates
     }
 
     #[cfg(test)]
@@ -250,7 +528,7 @@ mod tests {
                     for (i, (cap, mut members)) in resources.into_iter().enumerate() {
                         members.sort_unstable();
                         members.dedup();
-                        p.add_resource(ResourceKind::Egress(i), cap, members);
+                        p.add_resource(ResourceKind::Egress(i), cap, &members);
                     }
                     p
                 })
@@ -261,10 +539,10 @@ mod tests {
             #[test]
             fn no_resource_oversubscribed(p in arb_problem()) {
                 let rates = allocate_max_min(&p);
-                for r in &p.resources {
-                    let used = total(&rates, &r.members);
-                    prop_assert!(used <= r.capacity_mbps + 1e-6,
-                        "{:?} used {used} of {}", r.kind, r.capacity_mbps);
+                for (kind, cap, members) in p.resources() {
+                    let used = total(&rates, members);
+                    prop_assert!(used <= cap + 1e-6,
+                        "{kind:?} used {used} of {cap}");
                 }
             }
 
@@ -285,14 +563,23 @@ mod tests {
                     if rates[f] + 1e-6 >= p.ceilings[f] {
                         continue;
                     }
-                    let blocked = p.resources.iter().any(|r| {
-                        r.members.contains(&f)
-                            && total(&rates, &r.members) + 1e-6 >= r.capacity_mbps
+                    let blocked = p.resources().any(|(_, cap, members)| {
+                        members.contains(&f) && total(&rates, members) + 1e-6 >= cap
                     });
-                    let unconstrained = !p.resources.iter().any(|r| r.members.contains(&f));
+                    let unconstrained = !p.resources().any(|(_, _, members)| members.contains(&f));
                     prop_assert!(blocked || unconstrained,
                         "flow {f} at {} below ceiling {} with slack everywhere",
                         rates[f], p.ceilings[f]);
+                }
+            }
+
+            #[test]
+            fn incremental_matches_reference_solver(p in arb_problem()) {
+                let fast = allocate_max_min(&p);
+                let slow = reference_solve(&p);
+                for (f, (&a, &b)) in fast.iter().zip(&slow).enumerate() {
+                    prop_assert!((a - b).abs() < 1e-6,
+                        "flow {f}: incremental {a} vs reference {b}");
                 }
             }
         }

@@ -61,7 +61,9 @@ pub struct TransferReport {
     pub min_pair_bw_mbps: f64,
     /// Total gigabits moved per source DC (for egress cost accounting).
     pub egress_gigabits: Vec<f64>,
-    /// Number of 1-second epochs simulated.
+    /// Number of simulation epochs covered (each `epoch_dt_s` seconds).
+    /// Coalesced runs *cover* the same epochs they skip re-solving for,
+    /// so this count is identical on the fast and per-epoch paths.
     pub epochs: usize,
 }
 

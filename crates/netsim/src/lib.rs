@@ -24,6 +24,17 @@
 //! Everything is seeded and reproducible; temporal dynamics follow an
 //! Ornstein-Uhlenbeck process per directed region pair (paper §5.7).
 //!
+//! ## Performance model
+//!
+//! [`NetSim::run_transfers`] coalesces epochs between *events* (pair
+//! drains, hook interventions, dynamics drift): with frozen dynamics and
+//! no [`EpochHook`] it performs one fairness solve per drain event and
+//! jumps whole segments at a time, bit-identically to per-epoch stepping
+//! (see the [`sim`] module docs). The solver runs allocation-free through
+//! [`FairnessWorkspace`] / [`RateScratch`] reusable buffers. Hooked or
+//! dynamic runs step (and re-solve) every epoch, so local agents always
+//! observe each simulated second.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -55,13 +66,13 @@ pub mod vm;
 mod params;
 
 pub use dynamics::Dynamics;
-pub use fairness::{allocate_max_min, FairnessProblem, ResourceKind};
+pub use fairness::{allocate_max_min, FairnessProblem, FairnessWorkspace, ResourceKind};
 pub use flow::{FlowId, FlowSpec, Transfer, TransferReport};
 pub use geo::{haversine_miles, GeoPoint, Region};
 pub use grid::{BwMatrix, ConnMatrix, Grid};
 pub use params::LinkModelParams;
 pub use probe::{HostMetrics, ProbeReading};
-pub use sim::{EpochCtx, EpochHook, NetSim};
+pub use sim::{EpochCtx, EpochHook, NetSim, RateScratch, RunStats};
 pub use topology::{DataCenter, DcId, Topology, TopologyBuilder, TopologyError};
 pub use vm::VmType;
 

@@ -47,8 +47,10 @@ pub struct LinkModelParams {
     /// Multiplier on `conn_cap` for flows crossing cloud providers.
     pub cross_provider_factor: f64,
     /// Simulation step of [`crate::NetSim::run_transfers`] in seconds.
-    /// Smaller steps resolve sub-second transfer differences at higher
-    /// simulation cost; probes always use 1-second epochs.
+    /// Smaller steps resolve sub-second transfer differences; probes
+    /// always use 1-second epochs. With frozen dynamics and no hook the
+    /// transfer loop coalesces epochs between drain events, so a finer
+    /// step costs accounting granularity, not extra fairness solves.
     pub epoch_dt_s: f64,
 }
 

@@ -16,7 +16,7 @@
 
 use crate::flow::FlowSpec;
 use crate::grid::{BwMatrix, ConnMatrix};
-use crate::sim::NetSim;
+use crate::sim::{NetSim, RateScratch};
 use crate::stats::clamp;
 use crate::topology::DcId;
 use rand::Rng;
@@ -56,25 +56,39 @@ impl NetSim {
         flows
     }
 
-    /// Rates for an all-to-all measurement round under `conns`, plus the
-    /// flow list used (internal helper for probes).
-    fn measure_round(&self, conns: &ConnMatrix) -> BwMatrix {
+    /// Rates for an all-to-all measurement round under `conns`, solved
+    /// through a caller-held [`RateScratch`] so repeated rounds (the
+    /// stable-runtime probe solves one per second) stay allocation-free.
+    fn measure_round(&self, conns: &ConnMatrix, scratch: &mut RateScratch) -> BwMatrix {
         let flows = self.all_pair_flows(conns);
-        let rates = self.allocate_rates(&flows);
+        let rates = self.allocate_rates_with(&flows, scratch);
         let n = self.topology().len();
         let mut bw = BwMatrix::new(n);
-        for (f, rate) in flows.iter().zip(rates) {
+        for (f, &rate) in flows.iter().zip(rates) {
             bw.put(f.src, f.dst, rate);
         }
         bw
     }
 
+    /// One isolated pair measurement through a caller-held scratch; the
+    /// single definition of lone-iPerf semantics (one flow, one second).
+    fn measure_pair_with(
+        &mut self,
+        src: DcId,
+        dst: DcId,
+        conns: u32,
+        scratch: &mut RateScratch,
+    ) -> f64 {
+        let rate = self.allocate_rates_with(&[FlowSpec::new(src, dst, conns)], scratch)[0];
+        self.advance(1.0);
+        rate
+    }
+
     /// Measures one directed pair in isolation with `conns` connections,
     /// like a lone iPerf run. Advances time by one second.
     pub fn measure_pair(&mut self, src: DcId, dst: DcId, conns: u32) -> f64 {
-        let rate = self.allocate_rates(&[FlowSpec::new(src, dst, conns)])[0];
-        self.advance(1.0);
-        rate
+        let mut scratch = RateScratch::default();
+        self.measure_pair_with(src, dst, conns, &mut scratch)
     }
 
     /// Static-independent probe: every directed pair measured alone with a
@@ -82,10 +96,11 @@ impl NetSim {
     pub fn measure_static_independent(&mut self) -> BwMatrix {
         let n = self.topology().len();
         let mut bw = BwMatrix::new(n);
+        let mut scratch = RateScratch::default();
         for i in 0..n {
             for j in 0..n {
                 if i != j {
-                    let rate = self.measure_pair(DcId(i), DcId(j), 1);
+                    let rate = self.measure_pair_with(DcId(i), DcId(j), 1, &mut scratch);
                     bw.set(i, j, rate);
                 }
             }
@@ -96,7 +111,8 @@ impl NetSim {
     /// Static-simultaneous probe: all pairs at once, single connection each.
     /// Advances time by one second.
     pub fn measure_static_simultaneous(&mut self) -> BwMatrix {
-        let bw = self.measure_round(&ConnMatrix::filled(self.topology().len(), 1));
+        let mut scratch = RateScratch::default();
+        let bw = self.measure_round(&ConnMatrix::filled(self.topology().len(), 1), &mut scratch);
         self.advance(1.0);
         bw
     }
@@ -108,8 +124,9 @@ impl NetSim {
         let n = self.topology().len();
         let secs = duration_s.max(1);
         let mut acc = BwMatrix::new(n);
+        let mut scratch = RateScratch::default();
         for _ in 0..secs {
-            let round = self.measure_round(conns);
+            let round = self.measure_round(conns, &mut scratch);
             for i in 0..n {
                 for j in 0..n {
                     acc.set(i, j, acc.get(i, j) + round.get(i, j));
@@ -126,7 +143,8 @@ impl NetSim {
     /// observation noise — WANify's cheap model input (paper §3.1).
     pub fn snapshot(&mut self, conns: &ConnMatrix) -> ProbeReading {
         let noise = self.params().snapshot_noise;
-        let round = self.measure_round(conns);
+        let mut scratch = RateScratch::default();
+        let round = self.measure_round(conns, &mut scratch);
         let bw = {
             let rng = self.rng_mut();
             round.map(|v| {

@@ -1,0 +1,295 @@
+//! Event-coalescing parity: `run_transfers`' fast path must be
+//! bit-identical to naive per-second stepping.
+//!
+//! The reference stepper below is an independent implementation of the
+//! documented transfer semantics (see `wanify_netsim::sim` module docs):
+//! it re-solves weighted max-min fairness after **every** simulated
+//! epoch through the public `allocate_rates`, and keeps the same
+//! anchor-plus-served-epochs accounting the engine defines, so any
+//! divergence in the engine's event-coalescing jump arithmetic shows up
+//! as a bit-level report mismatch.
+
+use proptest::prelude::*;
+use wanify_netsim::sim::{MAX_EPOCHS, PAYLOAD_EPS_GB};
+use wanify_netsim::{
+    paper_testbed_n, BwMatrix, ConnMatrix, DcId, EpochCtx, EpochHook, FlowSpec, LinkModelParams,
+    NetSim, Transfer, TransferReport, VmType,
+};
+
+fn frozen_sim(n: usize, seed: u64) -> NetSim {
+    NetSim::new(paper_testbed_n(VmType::t3_nano(), n), LinkModelParams::frozen(), seed)
+}
+
+struct RefPair {
+    src: usize,
+    dst: usize,
+    remaining: f64,
+    moved: f64,
+    busy: f64,
+    quota: f64,
+    served: u64,
+    active: bool,
+}
+
+impl RefPair {
+    fn fold(&mut self, dt: f64) {
+        if self.served > 0 {
+            let m = self.served as f64;
+            self.remaining -= m * self.quota;
+            self.moved += m * self.quota;
+            self.busy += m * dt;
+            self.served = 0;
+        }
+    }
+}
+
+/// Naive per-second stepper: one fairness solve per epoch, forever.
+fn reference_run(sim: &mut NetSim, transfers: &[Transfer], conns: &ConnMatrix) -> TransferReport {
+    let n = sim.topology().len();
+    let mut totals = BwMatrix::new(n);
+    for t in transfers {
+        assert!(t.gigabits >= 0.0);
+        totals.put(t.src, t.dst, totals.at(t.src, t.dst) + t.gigabits);
+    }
+    let mut pairs: Vec<RefPair> = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if totals.get(i, j) > PAYLOAD_EPS_GB {
+                pairs.push(RefPair {
+                    src: i,
+                    dst: j,
+                    remaining: totals.get(i, j),
+                    moved: 0.0,
+                    busy: 0.0,
+                    quota: 0.0,
+                    served: 0,
+                    active: true,
+                });
+            }
+        }
+    }
+
+    let dt = sim.params().epoch_dt_s.max(1e-3);
+    let mut epochs = 0usize;
+    while pairs.iter().any(|p| p.active) && epochs < MAX_EPOCHS {
+        let flows: Vec<FlowSpec> = pairs
+            .iter()
+            .filter(|p| p.active)
+            .map(|p| {
+                let c = if p.src == p.dst { 1 } else { conns.get(p.src, p.dst).max(1) };
+                FlowSpec::new(DcId(p.src), DcId(p.dst), c)
+            })
+            .collect();
+        let rates = sim.allocate_rates(&flows);
+        for (f, p) in pairs.iter_mut().filter(|p| p.active).enumerate() {
+            let quota = rates[f] * dt / 1000.0;
+            if quota != p.quota {
+                p.fold(dt);
+                p.quota = quota;
+            }
+            p.served += 1;
+            if p.remaining - p.served as f64 * p.quota <= PAYLOAD_EPS_GB {
+                p.busy += p.served as f64 * dt;
+                p.moved += p.remaining;
+                p.remaining = 0.0;
+                p.served = 0;
+                p.active = false;
+            }
+        }
+        epochs += 1;
+        sim.advance(dt);
+    }
+
+    let mut busy_s = BwMatrix::new(n);
+    let mut moved_gb = BwMatrix::new(n);
+    for p in &mut pairs {
+        p.fold(dt);
+        busy_s.set(p.src, p.dst, p.busy);
+        moved_gb.set(p.src, p.dst, p.moved);
+    }
+    let achieved = BwMatrix::from_fn(n, |i, j| {
+        let busy = busy_s.get(i, j);
+        if busy > 0.0 {
+            moved_gb.get(i, j) * 1000.0 / busy
+        } else {
+            0.0
+        }
+    });
+    let min_pair = achieved
+        .iter_pairs()
+        .filter(|&(i, j, _)| totals.get(i, j) > PAYLOAD_EPS_GB)
+        .map(|(_, _, v)| v)
+        .fold(f64::INFINITY, f64::min);
+    let mut egress = vec![0.0; n];
+    for (i, _, gb) in moved_gb.iter_pairs() {
+        egress[i] += gb;
+    }
+    let completion: Vec<f64> = transfers
+        .iter()
+        .map(|t| busy_s.at(t.src, t.dst).max(if t.gigabits > 0.0 { dt } else { 0.0 }))
+        .collect();
+    let makespan = completion.iter().copied().fold(0.0, f64::max);
+    TransferReport {
+        makespan_s: makespan,
+        completion_s: completion,
+        achieved_bw: achieved,
+        min_pair_bw_mbps: if min_pair.is_finite() { min_pair } else { 0.0 },
+        egress_gigabits: egress,
+        epochs,
+    }
+}
+
+/// Bit-level equality over every report field.
+fn assert_reports_bit_identical(fast: &TransferReport, reference: &TransferReport) {
+    assert_eq!(fast.epochs, reference.epochs, "epoch counts differ");
+    assert_eq!(
+        fast.makespan_s.to_bits(),
+        reference.makespan_s.to_bits(),
+        "makespan differs: {} vs {}",
+        fast.makespan_s,
+        reference.makespan_s
+    );
+    assert_eq!(
+        fast.min_pair_bw_mbps.to_bits(),
+        reference.min_pair_bw_mbps.to_bits(),
+        "min pair bw differs"
+    );
+    let bits = |xs: &[f64]| xs.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&fast.completion_s), bits(&reference.completion_s), "completion times differ");
+    assert_eq!(
+        bits(&fast.egress_gigabits),
+        bits(&reference.egress_gigabits),
+        "egress accounting differs"
+    );
+    assert_eq!(
+        bits(fast.achieved_bw.as_slice()),
+        bits(reference.achieved_bw.as_slice()),
+        "achieved bandwidth matrices differ"
+    );
+}
+
+#[test]
+fn coalesced_run_matches_reference_on_mixed_workload() {
+    let transfers = [
+        Transfer::new(DcId(0), DcId(1), 12.0),
+        Transfer::new(DcId(0), DcId(2), 3.5),
+        Transfer::new(DcId(2), DcId(1), 0.25),
+        Transfer::new(DcId(1), DcId(1), 2.0), // intra-DC
+        Transfer::new(DcId(2), DcId(0), 0.0), // empty
+    ];
+    let conns = ConnMatrix::from_fn(3, |i, j| if i == j { 1 } else { 1 + (i + 2 * j) as u32 });
+    let fast = frozen_sim(3, 42).run_transfers(&transfers, &conns, None);
+    let reference = reference_run(&mut frozen_sim(3, 42), &transfers, &conns);
+    assert_reports_bit_identical(&fast, &reference);
+}
+
+#[test]
+fn long_transfer_solve_count_is_bounded_by_drain_events() {
+    // The slowest pair (US East → AP Southeast, 1 conn ≈ 121 Mbps) takes
+    // well over 1000 simulated seconds; the fast path must still solve
+    // fairness at most once per pair-drain event plus the initial solve.
+    let transfers = [
+        Transfer::new(DcId(0), DcId(3), 160.0), // >1000 s on the weak link
+        Transfer::new(DcId(0), DcId(1), 240.0),
+        Transfer::new(DcId(1), DcId(2), 100.0),
+        Transfer::new(DcId(2), DcId(3), 40.0),
+    ];
+    let conns = ConnMatrix::filled(4, 1);
+    let mut sim = frozen_sim(4, 7);
+    let fast = sim.run_transfers(&transfers, &conns, None);
+    let stats = sim.last_run_stats();
+
+    assert!(stats.coalesced, "frozen no-hook run must take the fast path");
+    let drain_events = transfers.len() as u64;
+    assert!(
+        stats.solves <= drain_events + 1,
+        "{} solves for {} drain events",
+        stats.solves,
+        drain_events
+    );
+    let dt = sim.params().epoch_dt_s.max(1e-3);
+    assert!(
+        fast.makespan_s >= 1000.0,
+        "workload too small to exercise coalescing: {} s",
+        fast.makespan_s
+    );
+    assert!(fast.epochs as f64 * dt >= 1000.0);
+
+    let reference = reference_run(&mut frozen_sim(4, 7), &transfers, &conns);
+    assert_reports_bit_identical(&fast, &reference);
+}
+
+#[test]
+fn noop_hook_forces_per_epoch_yet_stays_bit_identical() {
+    // A do-nothing hook forces one solve per epoch; because both modes
+    // evaluate the same segment expressions, the reports must still be
+    // bit-identical — this is the engine-internal parity guarantee.
+    struct Noop;
+    impl EpochHook for Noop {
+        fn on_epoch(&mut self, _ctx: &mut EpochCtx<'_>) {}
+    }
+    let transfers = [Transfer::new(DcId(0), DcId(1), 8.0), Transfer::new(DcId(1), DcId(2), 2.0)];
+    let conns = ConnMatrix::filled(3, 2);
+    let fast = frozen_sim(3, 9).run_transfers(&transfers, &conns, None);
+    let mut sim = frozen_sim(3, 9);
+    let stepped = sim.run_transfers(&transfers, &conns, Some(&mut Noop));
+    assert!(!sim.last_run_stats().coalesced);
+    assert_eq!(sim.last_run_stats().solves, stepped.epochs as u64);
+    assert_reports_bit_identical(&fast, &stepped);
+}
+
+#[test]
+fn hooks_see_every_epoch_even_when_coalescing_would_apply() {
+    // Regression companion to `hook_can_raise_connections_mid_transfer`:
+    // a hook-driven run on a frozen network must observe every epoch.
+    struct Counter {
+        calls: usize,
+        boosted: bool,
+    }
+    impl EpochHook for Counter {
+        fn on_epoch(&mut self, ctx: &mut EpochCtx<'_>) {
+            self.calls += 1;
+            if !self.boosted && ctx.time_s >= 3.0 {
+                ctx.conns.set(0, 3, 9);
+                self.boosted = true;
+            }
+        }
+    }
+    let mut hook = Counter { calls: 0, boosted: false };
+    let mut sim = frozen_sim(4, 21);
+    let conns = ConnMatrix::filled(4, 1);
+    let report =
+        sim.run_transfers(&[Transfer::new(DcId(0), DcId(3), 5.0)], &conns, Some(&mut hook));
+    assert_eq!(hook.calls, report.epochs, "the hook must run after every epoch");
+    assert!(hook.boosted, "the mid-transfer intervention must have fired");
+    assert_eq!(sim.last_run_stats().solves, report.epochs as u64);
+}
+
+proptest! {
+    #[test]
+    fn coalescing_parity_on_random_workloads(
+        payloads in proptest::collection::vec((0usize..3, 0usize..3, 0.0f64..4.0), 1..7),
+        conn_seed in 1u32..6,
+        seed in 0u64..1000,
+    ) {
+        let transfers: Vec<Transfer> = payloads
+            .iter()
+            .map(|&(s, d, gb)| Transfer::new(DcId(s), DcId(d), gb))
+            .collect();
+        let conns = ConnMatrix::from_fn(3, |i, j| 1 + ((i as u32 + conn_seed * j as u32) % 5));
+        let fast = frozen_sim(3, seed).run_transfers(&transfers, &conns, None);
+        let reference = reference_run(&mut frozen_sim(3, seed), &transfers, &conns);
+        prop_assert_eq!(fast.epochs, reference.epochs);
+        prop_assert_eq!(fast.makespan_s.to_bits(), reference.makespan_s.to_bits());
+        prop_assert_eq!(fast.min_pair_bw_mbps.to_bits(), reference.min_pair_bw_mbps.to_bits());
+        for (a, b) in fast.completion_s.iter().zip(&reference.completion_s) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in fast.egress_gigabits.iter().zip(&reference.egress_gigabits) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in fast.achieved_bw.as_slice().iter().zip(reference.achieved_bw.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
