@@ -1,0 +1,131 @@
+//! Emits `BENCH_fleet.json`: the tracked perf + behaviour baseline for
+//! the multi-tenant fleet engine.
+//!
+//! One run serves a deterministic mixed trace (TeraSort / WordCount /
+//! TPC-DS mix) through the [`FleetEngine`] with a high admission limit,
+//! so dozens of queries contend on one shared WAN at once. The runner
+//! verifies the engine's core guarantees while timing it:
+//!
+//! * **determinism** — two identical runs must agree bit for bit;
+//! * **contention** — the fleet's mean per-query makespan must be
+//!   strictly worse than the same queries run solo on an idle WAN
+//!   (cross-query contention is representable and visible);
+//! * **throughput floor** — the engine must sustain a minimum number of
+//!   completed queries per wall-clock second (CI-asserted in smoke mode).
+//!
+//! Usage: `bench_fleet [--smoke] [--out PATH]`
+//!   --smoke   small fleet (CI); skips writing JSON unless --out is given.
+//!   --out     output path (default `BENCH_fleet.json`, full mode only).
+
+use std::time::Instant;
+use wanify_gda::{Arrivals, FleetConfig, FleetEngine, FleetReport, Tetrium};
+use wanify_netsim::{paper_testbed_n, LinkModelParams, NetSim, VmType};
+use wanify_workloads::{mixed_trace, TraceConfig};
+
+/// Completed queries per wall-clock second the engine must sustain. The
+/// debug-free release build does ~100× this; the floor only catches
+/// catastrophic regressions (e.g. losing event coalescing).
+const MIN_JOBS_PER_WALL_S: f64 = 5.0;
+
+fn sim(n: usize) -> NetSim {
+    NetSim::new(paper_testbed_n(VmType::t2_medium(), n), LinkModelParams::frozen(), 11)
+}
+
+fn fleet_run(n: usize, jobs: &[wanify_gda::JobProfile], max_concurrent: usize) -> FleetReport {
+    FleetEngine::new(
+        sim(n),
+        Box::new(Tetrium::new()),
+        Box::new(wanify::StaticIndependent::new()),
+        FleetConfig { max_concurrent, regauge_every_s: 300.0, conns: None },
+    )
+    .run(jobs, &Arrivals::Closed { clients: max_concurrent, think_s: 0.0 })
+    .expect("bench trace matches its topology")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = match args.iter().position(|a| a == "--out") {
+        Some(i) => match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => Some(path.clone()),
+            _ => {
+                eprintln!("error: --out requires a path argument");
+                std::process::exit(2);
+            }
+        },
+        None => (!smoke).then(|| "BENCH_fleet.json".to_string()),
+    };
+
+    // ≥ 50 queries contending at once in full mode (the acceptance bar);
+    // a small fleet in smoke mode to keep CI fast.
+    let (n, n_jobs, max_concurrent) = if smoke { (4, 16, 16) } else { (8, 60, 60) };
+    let trace = mixed_trace(&TraceConfig::new(n, n_jobs, 42).scaled(0.5));
+
+    // (a) Fleet run, timed — then repeated to prove determinism.
+    let start = Instant::now();
+    let fleet = fleet_run(n, &trace, max_concurrent);
+    let fleet_wall_s = start.elapsed().as_secs_f64();
+    let again = fleet_run(n, &trace, max_concurrent);
+    assert_eq!(
+        fleet.duration_s.to_bits(),
+        again.duration_s.to_bits(),
+        "fleet runs must be bit-identical across repetitions"
+    );
+    for (a, b) in fleet.outcomes.iter().zip(&again.outcomes) {
+        assert_eq!(a.report.latency_s.to_bits(), b.report.latency_s.to_bits());
+        assert_eq!(a.completed_s.to_bits(), b.completed_s.to_bits());
+    }
+    assert_eq!(fleet.outcomes.len(), n_jobs, "every query must complete");
+
+    // (b) Solo baseline: the same queries one at a time on an idle WAN.
+    let start = Instant::now();
+    let mut solo_total_makespan = 0.0;
+    for job in &trace {
+        let solo = fleet_run(n, std::slice::from_ref(job), 1);
+        solo_total_makespan += solo.outcomes[0].makespan_s();
+    }
+    let solo_wall_s = start.elapsed().as_secs_f64();
+    let solo_mean = solo_total_makespan / n_jobs as f64;
+    let fleet_mean = fleet.outcomes.iter().map(|o| o.makespan_s()).sum::<f64>() / n_jobs as f64;
+    assert!(
+        fleet_mean > solo_mean,
+        "contention must be measurable: fleet mean {fleet_mean:.1}s vs solo {solo_mean:.1}s"
+    );
+
+    let jobs_per_wall_s = n_jobs as f64 / fleet_wall_s.max(1e-12);
+    let makespan = fleet.makespan();
+    let wait = fleet.queue_wait();
+
+    let json = format!(
+        "{{\n  \"bench\": \"fleet\",\n  \"mode\": \"{}\",\n  \"workload\": \"{}dc_mixed_{}jobs_closed{}\",\n  \"fleet\": {{\n    \"completed\": {},\n    \"simulated_duration_s\": {:.1},\n    \"throughput_jobs_per_sim_s\": {:.5},\n    \"mean_makespan_s\": {:.1},\n    \"p50_makespan_s\": {:.1},\n    \"p95_makespan_s\": {:.1},\n    \"p99_makespan_s\": {:.1},\n    \"mean_queue_wait_s\": {:.1},\n    \"gauges\": {},\n    \"egress_usd\": {:.2},\n    \"wall_s\": {:.3},\n    \"jobs_per_wall_s\": {:.1}\n  }},\n  \"solo_baseline\": {{\n    \"mean_makespan_s\": {:.1},\n    \"contention_slowdown\": {:.2},\n    \"wall_s\": {:.3}\n  }}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        n,
+        n_jobs,
+        max_concurrent,
+        fleet.outcomes.len(),
+        fleet.duration_s,
+        fleet.throughput_jobs_per_s(),
+        fleet_mean,
+        makespan.p50,
+        makespan.p95,
+        makespan.p99,
+        wait.mean,
+        fleet.gauges,
+        fleet.network_cost_usd(),
+        fleet_wall_s,
+        jobs_per_wall_s,
+        solo_mean,
+        fleet_mean / solo_mean.max(1e-12),
+        solo_wall_s,
+    );
+    print!("{json}");
+    if let Some(path) = out {
+        std::fs::write(&path, &json).expect("write benchmark JSON");
+        eprintln!("wrote {path}");
+    }
+    assert!(
+        jobs_per_wall_s >= MIN_JOBS_PER_WALL_S,
+        "fleet throughput regressed below {MIN_JOBS_PER_WALL_S} jobs per wall-second: \
+         {jobs_per_wall_s:.1}"
+    );
+}

@@ -153,6 +153,7 @@ impl ExpEnv {
         belief: Belief,
     ) -> QueryReport {
         run_job(sim, job, scheduler, self.source(belief).as_mut(), TransferOptions::default())
+            .expect("environment jobs match their topology")
     }
 
     /// The canonical experiment: the scheduler as published
@@ -302,7 +303,8 @@ pub fn run_wanified(
         conns: Some(&conns),
         hook: if mode.local { Some(&mut agent) } else { None },
     };
-    let report = run_job(sim, job, scheduler, &mut belief, opts);
+    let report = run_job(sim, job, scheduler, &mut belief, opts)
+        .expect("wanified jobs match their topology");
     sim.clear_throttles();
     report
 }

@@ -115,7 +115,8 @@ pub fn run(effort: Effort, seed: u64) -> Fig10 {
                 scheduler.as_ref(),
                 env.source(Belief::Predicted).as_mut(),
                 TransferOptions { conns: Some(&conns), hook: None },
-            );
+            )
+            .expect("fig10 jobs match their topology");
             rows.push(mk(scheduler.name(), "uniform-P", &r));
         }
         // WANify without skew weights.

@@ -86,7 +86,8 @@ pub fn run(effort: Effort, seed: u64) -> Fig5 {
             &sched,
             env.source(Belief::Predicted).as_mut(),
             TransferOptions { conns: Some(&conns), hook: None },
-        );
+        )
+        .expect("fig5 jobs match their topology");
         rows.push(row("WANify-P", &r));
     }
     // WANify-Dynamic: heterogeneous plan + agents, no throttling.

@@ -94,7 +94,8 @@ fn trace_run(env: &ExpEnv, perturb_pct: f64, seed: u64) -> Vec<EpochSd> {
         &Tetrium::new(),
         &mut belief,
         TransferOptions { conns: Some(&conns), hook: Some(&mut agent) },
-    );
+    )
+    .expect("fig9 jobs match their topology");
     sim.clear_throttles();
 
     let mut rng = StdRng::seed_from_u64(seed ^ 0xF19);

@@ -25,6 +25,7 @@
 //! | `fig10`  | skewed-input handling |
 //! | `fig11`  | prediction accuracy across cluster shapes |
 //! | `sec583` | heterogeneous-VM benefits |
+//! | `fleet`  | beyond the paper: belief provenances under multi-tenant contention |
 //! | `model`  | prediction-model training quality |
 
 pub mod common;
@@ -37,6 +38,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet;
 pub mod model;
 pub mod sec583;
 pub mod table1;

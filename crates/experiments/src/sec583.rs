@@ -71,7 +71,8 @@ pub fn run(effort: Effort, seed: u64) -> Sec583 {
     // Vanilla baseline.
     let mut sim = hetero_sim(seed);
     let vanilla =
-        run_job(&mut sim, &job, &sched, &mut StaticIndependent::new(), TransferOptions::default());
+        run_job(&mut sim, &job, &sched, &mut StaticIndependent::new(), TransferOptions::default())
+            .expect("sec583 jobs match their topology");
 
     // Tetrium-r: predicted beliefs, still single connection.
     let mut sim = hetero_sim(seed);
@@ -81,7 +82,8 @@ pub fn run(effort: Effort, seed: u64) -> Sec583 {
         &sched,
         &mut PredictedRuntime::new(model.clone()),
         TransferOptions::default(),
-    );
+    )
+    .expect("sec583 jobs match their topology");
 
     // Full WANify.
     let mut sim = hetero_sim(seed);

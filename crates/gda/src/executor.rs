@@ -10,7 +10,10 @@ use crate::cost::{CostBreakdown, CostModel};
 use crate::job::JobProfile;
 use crate::scheduler::{PlacementCtx, Scheduler};
 use wanify::source::BandwidthSource;
-use wanify_netsim::{ConnMatrix, DcId, EpochHook, NetSim, Transfer};
+use wanify::WanifyError;
+use wanify_netsim::{
+    BwMatrix, ConnMatrix, DcId, EpochHook, GroupId, GroupReport, NetSim, Topology, Transfer,
+};
 
 /// Transfer-layer options for a query run.
 #[derive(Default)]
@@ -63,119 +66,330 @@ pub struct QueryReport {
 /// (static, measured, predicted) determines real performance exactly as
 /// in the paper (§2.2, §5.2). Returns the full [`QueryReport`].
 ///
-/// # Panics
+/// The per-query semantics live in one place — the [`JobRun`] state
+/// machine; this function merely drives it to completion with exclusive
+/// use of the simulator, executing [`JobStep::Compute`] as
+/// [`NetSim::advance`] and [`JobStep::Shuffle`] as a blocking
+/// [`NetSim::run_transfers`] call (with the agent hook on stage shuffles,
+/// never on migration). The fleet path drives the same machine from
+/// [`wanify_netsim::NetEngine`] completion events instead.
 ///
-/// Panics if the job layout width differs from the topology size, or if
-/// the source fails to gauge the network (a configuration error).
+/// # Errors
+///
+/// Returns [`WanifyError::DimensionMismatch`] when the job layout width
+/// differs from the topology size, and propagates any gauge failure from
+/// the bandwidth source.
 pub fn run_job<S: BandwidthSource + ?Sized>(
     sim: &mut NetSim,
     job: &JobProfile,
     scheduler: &dyn Scheduler,
     belief: &mut S,
     mut opts: TransferOptions<'_>,
-) -> QueryReport {
-    let bw_belief = &belief.gauge(sim).expect("bandwidth source must match the topology");
-    let belief_name = belief.name().to_string();
-    let n = sim.topology().len();
-    assert_eq!(job.layout.len(), n, "job layout must cover every DC");
-    let single_conns = ConnMatrix::filled(n, 1);
-    let conns = opts.conns.unwrap_or(&single_conns);
-
-    let mut data_gb: Vec<f64> = (0..n).map(|i| job.layout.gb_at(i)).collect();
-    let mut latency_s = 0.0;
-    let mut min_bw = f64::INFINITY;
-    let mut shuffle_gb = 0.0;
-    let mut egress_gb = vec![0.0; n];
-    let mut stage_latencies = Vec::with_capacity(job.stages.len());
-
-    // Optional input migration decided on the belief matrix (paper §2.2:
-    // "prior works choose to migrate input data out of AP SE").
-    {
-        let ctx = PlacementCtx {
-            topo: sim.topology(),
-            bw: bw_belief,
-            out_gb: &data_gb,
-            compute_s_per_gb: job.stages[0].compute_s_per_gb,
-        };
-        if let Some(new_layout) = scheduler.migrate_input(&ctx) {
-            let transfers = migration_transfers(&data_gb, &new_layout);
-            if !transfers.is_empty() {
-                let report = sim.run_transfers(&transfers, &single_conns, None);
-                latency_s += report.makespan_s;
-                for (i, gb) in report.egress_gigabits.iter().enumerate() {
-                    egress_gb[i] += gb / 8.0;
-                }
-                min_bw = min_bw.min(report.min_pair_bw_mbps);
+) -> Result<QueryReport, WanifyError> {
+    let bw_belief = belief.gauge(sim)?;
+    let mut run = JobRun::new(
+        job.clone(),
+        bw_belief,
+        belief.name(),
+        scheduler,
+        sim.topology(),
+        opts.conns.cloned(),
+    )?;
+    let mut step = run.start(scheduler, sim.topology());
+    loop {
+        step = match step {
+            JobStep::Compute { seconds } => {
+                sim.advance(seconds);
+                run.on_compute_done(scheduler, sim.topology())
             }
-            data_gb = new_layout;
+            JobStep::Shuffle { transfers, conns, migration } => {
+                let hook = if migration { None } else { opts.hook.as_deref_mut() };
+                let tr = sim.run_transfers(&transfers, &conns, hook);
+                let group = GroupReport {
+                    group: GroupId(0),
+                    submitted_s: 0.0,
+                    completed_s: 0.0,
+                    makespan_s: tr.makespan_s,
+                    min_pair_bw_mbps: tr.min_pair_bw_mbps,
+                    egress_gigabits: tr.egress_gigabits,
+                };
+                run.on_shuffle_done(&group, sim.topology())
+            }
+            JobStep::Done(report) => return Ok(*report),
+        };
+    }
+}
+
+/// Straggler-dominated compute time of one stage: every DC processes its
+/// local data, the stage waits for the busiest DC (§2.1).
+fn stage_compute_s(data_gb: &[f64], compute_s_per_gb: f64, topo: &Topology) -> f64 {
+    data_gb
+        .iter()
+        .enumerate()
+        .map(|(j, gb)| gb * compute_s_per_gb / f64::from(topo.dc(DcId(j)).vcpus()))
+        .fold(0.0, f64::max)
+}
+
+/// Cross-DC transfers implied by shuffling `out_gb` into `fractions`,
+/// plus the total gigabytes that cross the WAN.
+fn shuffle_transfers(out_gb: &[f64], fractions: &[f64]) -> (Vec<Transfer>, f64) {
+    let mut transfers = Vec::new();
+    let mut moved = 0.0;
+    for (i, &out) in out_gb.iter().enumerate() {
+        for (j, &r) in fractions.iter().enumerate() {
+            let gb = out * r;
+            if i != j && gb > 1e-12 {
+                transfers.push(Transfer::from_gigabytes(DcId(i), DcId(j), gb));
+                moved += gb;
+            }
         }
     }
+    (transfers, moved)
+}
 
-    for (s, stage) in job.stages.iter().enumerate() {
-        let stage_start = latency_s;
-        // Compute phase: tasks run where the data sits; the stage waits for
-        // the busiest DC (stragglers dominate JCT, §2.1).
-        let compute_s = data_gb
-            .iter()
-            .enumerate()
-            .map(|(j, gb)| {
-                gb * stage.compute_s_per_gb / f64::from(sim.topology().dc(DcId(j)).vcpus())
-            })
-            .fold(0.0, f64::max);
-        sim.advance(compute_s);
-        latency_s += compute_s;
+/// What a [`JobRun`] needs next from its driver.
+///
+/// The fleet event loop executes the step — a simulated-time timer for
+/// compute, an engine submission for a shuffle — and feeds the outcome
+/// back through [`JobRun::on_compute_done`] / [`JobRun::on_shuffle_done`].
+#[derive(Debug)]
+pub enum JobStep {
+    /// The job computes for this many simulated seconds (possibly 0).
+    Compute {
+        /// Straggler-dominated duration of the compute phase.
+        seconds: f64,
+    },
+    /// The job shuffles: submit these transfers as one flow group.
+    Shuffle {
+        /// Cross-DC transfers of this shuffle (never empty).
+        transfers: Vec<Transfer>,
+        /// Parallel-connection matrix the group should use.
+        conns: ConnMatrix,
+        /// Whether this is the pre-job input migration (which never runs
+        /// agent hooks) rather than a stage shuffle.
+        migration: bool,
+    },
+    /// The job finished; here is its report.
+    Done(Box<QueryReport>),
+}
 
-        let out_gb: Vec<f64> = data_gb.iter().map(|gb| gb * stage.selectivity).collect();
+/// Phase of a [`JobRun`] between driver events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunPhase {
+    /// Waiting for the input-migration flow group to drain.
+    Migrating,
+    /// Waiting for stage `s`'s compute timer.
+    Computing(usize),
+    /// Waiting for stage `s`'s shuffle flow group to drain.
+    Shuffling(usize),
+    /// Report emitted.
+    Finished,
+}
+
+/// One query's execution as a resumable state machine:
+/// `migrate → (compute → shuffle)* → done`.
+///
+/// [`run_job`] owns the simulator for the whole query; `JobRun` instead
+/// *reacts* to completion events, so many runs can interleave on one
+/// [`wanify_netsim::NetEngine`] and contend for the same WAN — the fleet
+/// regime (see [`crate::fleet`]). Driving a lone `JobRun` through the
+/// engine reproduces `run_job`'s [`QueryReport`] bit for bit (enforced by
+/// the `fleet_parity` proptest).
+///
+/// The driver contract: call [`JobRun::start`] once, execute the returned
+/// [`JobStep`], then keep feeding completions via
+/// [`JobRun::on_compute_done`] / [`JobRun::on_shuffle_done`] until
+/// [`JobStep::Done`].
+#[derive(Debug)]
+pub struct JobRun {
+    job: JobProfile,
+    /// Belief matrix gauged at admission; placements use it throughout.
+    bw_belief: BwMatrix,
+    belief_name: String,
+    scheduler_name: String,
+    conns: ConnMatrix,
+    phase: RunPhase,
+    data_gb: Vec<f64>,
+    latency_s: f64,
+    /// Start-of-stage latency, for per-stage accounting.
+    stage_start_s: f64,
+    /// Duration of the pending compute phase (accumulated on completion).
+    pending_compute_s: f64,
+    min_bw: Option<f64>,
+    shuffle_gb: f64,
+    egress_gb: Vec<f64>,
+    stage_latencies_s: Vec<f64>,
+}
+
+impl JobRun {
+    /// Builds the state machine for `job`, planning every placement on
+    /// `bw_belief` (the matrix a [`BandwidthSource`] gauged at admission).
+    /// `conns` is the per-shuffle connection matrix; `None` means single
+    /// connections (vanilla Spark).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WanifyError::DimensionMismatch`] when the job layout or
+    /// the belief matrix does not match the topology.
+    pub fn new(
+        job: JobProfile,
+        bw_belief: BwMatrix,
+        belief_name: impl Into<String>,
+        scheduler: &dyn Scheduler,
+        topo: &Topology,
+        conns: Option<ConnMatrix>,
+    ) -> Result<Self, WanifyError> {
+        let n = topo.len();
+        if job.layout.len() != n {
+            return Err(WanifyError::DimensionMismatch { expected: n, got: job.layout.len() });
+        }
+        if bw_belief.len() != n {
+            return Err(WanifyError::DimensionMismatch { expected: n, got: bw_belief.len() });
+        }
+        if let Some(c) = &conns {
+            if c.len() != n {
+                return Err(WanifyError::DimensionMismatch { expected: n, got: c.len() });
+            }
+        }
+        let data_gb = (0..n).map(|i| job.layout.gb_at(i)).collect();
+        Ok(Self {
+            job,
+            bw_belief,
+            belief_name: belief_name.into(),
+            scheduler_name: scheduler.name().to_string(),
+            conns: conns.unwrap_or_else(|| ConnMatrix::filled(n, 1)),
+            phase: RunPhase::Computing(0),
+            data_gb,
+            latency_s: 0.0,
+            stage_start_s: 0.0,
+            pending_compute_s: 0.0,
+            min_bw: None,
+            shuffle_gb: 0.0,
+            egress_gb: vec![0.0; n],
+            stage_latencies_s: Vec::new(),
+        })
+    }
+
+    /// The job this run executes.
+    pub fn job(&self) -> &JobProfile {
+        &self.job
+    }
+
+    /// Kicks off the run: decides input migration on the belief matrix and
+    /// returns the first step.
+    pub fn start(&mut self, scheduler: &dyn Scheduler, topo: &Topology) -> JobStep {
+        let ctx = PlacementCtx {
+            topo,
+            bw: &self.bw_belief,
+            out_gb: &self.data_gb,
+            compute_s_per_gb: self.job.stages[0].compute_s_per_gb,
+        };
+        if let Some(new_layout) = scheduler.migrate_input(&ctx) {
+            let transfers = migration_transfers(&self.data_gb, &new_layout);
+            self.data_gb = new_layout;
+            if !transfers.is_empty() {
+                self.phase = RunPhase::Migrating;
+                // Migration always runs on single connections (§2.2).
+                let n = topo.len();
+                return JobStep::Shuffle {
+                    transfers,
+                    conns: ConnMatrix::filled(n, 1),
+                    migration: true,
+                };
+            }
+        }
+        self.begin_compute(0, topo)
+    }
+
+    /// Feeds back a finished compute phase and returns the next step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was not waiting for a compute phase.
+    pub fn on_compute_done(&mut self, scheduler: &dyn Scheduler, topo: &Topology) -> JobStep {
+        let RunPhase::Computing(s) = self.phase else {
+            panic!("on_compute_done in phase {:?}", self.phase);
+        };
+        self.latency_s += self.pending_compute_s;
+        self.pending_compute_s = 0.0;
+
+        let stage = &self.job.stages[s];
+        let out_gb: Vec<f64> = self.data_gb.iter().map(|gb| gb * stage.selectivity).collect();
         let total_out: f64 = out_gb.iter().sum();
 
         if stage.shuffles && total_out > 1e-12 {
             let downstream_compute =
-                job.stages.get(s + 1).map_or(0.0, |next| next.compute_s_per_gb);
+                self.job.stages.get(s + 1).map_or(0.0, |next| next.compute_s_per_gb);
             let ctx = PlacementCtx {
-                topo: sim.topology(),
-                bw: bw_belief,
+                topo,
+                bw: &self.bw_belief,
                 out_gb: &out_gb,
                 compute_s_per_gb: downstream_compute,
             };
             let fractions = scheduler.place_reduce(&ctx);
             debug_assert!((fractions.iter().sum::<f64>() - 1.0).abs() < 1e-6);
-
-            let mut transfers = Vec::new();
-            for (i, &out) in out_gb.iter().enumerate() {
-                for (j, &r) in fractions.iter().enumerate() {
-                    let gb = out * r;
-                    if i != j && gb > 1e-12 {
-                        transfers.push(Transfer::from_gigabytes(DcId(i), DcId(j), gb));
-                        shuffle_gb += gb;
-                    }
-                }
-            }
+            let (transfers, moved_gb) = shuffle_transfers(&out_gb, &fractions);
+            self.shuffle_gb += moved_gb;
+            self.data_gb = fractions.iter().map(|r| r * total_out).collect();
             if !transfers.is_empty() {
-                let report = sim.run_transfers(&transfers, conns, opts.hook.as_deref_mut());
-                latency_s += report.makespan_s;
-                min_bw = min_bw.min(report.min_pair_bw_mbps);
-                for (i, gb) in report.egress_gigabits.iter().enumerate() {
-                    egress_gb[i] += gb / 8.0;
-                }
+                self.phase = RunPhase::Shuffling(s);
+                return JobStep::Shuffle { transfers, conns: self.conns.clone(), migration: false };
             }
-            data_gb = fractions.iter().map(|r| r * total_out).collect();
         } else {
-            data_gb = out_gb;
+            self.data_gb = out_gb;
         }
-        stage_latencies.push(latency_s - stage_start);
+        self.finish_stage(s, topo)
     }
 
-    let cost = CostModel::new().price(sim.topology(), latency_s, &egress_gb, job.input_gb());
-    QueryReport {
-        job: job.name.clone(),
-        scheduler: scheduler.name().to_string(),
-        belief: belief_name,
-        latency_s,
-        cost,
-        min_bw_mbps: if min_bw.is_finite() { min_bw } else { 0.0 },
-        shuffle_gb,
-        egress_gb,
-        stage_latencies_s: stage_latencies,
+    /// Feeds back a drained flow group (migration or stage shuffle) and
+    /// returns the next step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was not waiting for a shuffle.
+    pub fn on_shuffle_done(&mut self, report: &GroupReport, topo: &Topology) -> JobStep {
+        self.latency_s += report.makespan_s;
+        self.min_bw = Some(self.min_bw.unwrap_or(f64::INFINITY).min(report.min_pair_bw_mbps));
+        for (i, gb) in report.egress_gigabits.iter().enumerate() {
+            self.egress_gb[i] += gb / 8.0;
+        }
+        match self.phase {
+            RunPhase::Migrating => self.begin_compute(0, topo),
+            RunPhase::Shuffling(s) => self.finish_stage(s, topo),
+            phase => panic!("on_shuffle_done in phase {phase:?}"),
+        }
+    }
+
+    /// Emits stage `s`'s compute step.
+    fn begin_compute(&mut self, s: usize, topo: &Topology) -> JobStep {
+        self.phase = RunPhase::Computing(s);
+        self.stage_start_s = self.latency_s;
+        self.pending_compute_s =
+            stage_compute_s(&self.data_gb, self.job.stages[s].compute_s_per_gb, topo);
+        JobStep::Compute { seconds: self.pending_compute_s }
+    }
+
+    /// Closes stage `s`'s accounting and moves on (or finishes).
+    fn finish_stage(&mut self, s: usize, topo: &Topology) -> JobStep {
+        self.stage_latencies_s.push(self.latency_s - self.stage_start_s);
+        if s + 1 < self.job.stages.len() {
+            self.begin_compute(s + 1, topo)
+        } else {
+            self.phase = RunPhase::Finished;
+            let cost =
+                CostModel::new().price(topo, self.latency_s, &self.egress_gb, self.job.input_gb());
+            JobStep::Done(Box::new(QueryReport {
+                job: self.job.name.clone(),
+                scheduler: self.scheduler_name.clone(),
+                belief: self.belief_name.clone(),
+                latency_s: self.latency_s,
+                cost,
+                min_bw_mbps: self.min_bw.unwrap_or(0.0),
+                shuffle_gb: self.shuffle_gb,
+                egress_gb: self.egress_gb.clone(),
+                stage_latencies_s: self.stage_latencies_s.clone(),
+            }))
+        }
     }
 }
 
@@ -253,7 +467,8 @@ mod tests {
             &Tetrium::new(),
             &mut wanify::StaticIndependent::new(),
             TransferOptions::default(),
-        );
+        )
+        .unwrap();
         assert!(report.latency_s > 0.0);
         assert!(report.cost.total_usd() > 0.0);
         assert!(report.min_bw_mbps > 0.0);
@@ -273,7 +488,8 @@ mod tests {
             &VanillaSpark::new(),
             &mut wanify::StaticIndependent::new(),
             TransferOptions::default(),
-        );
+        )
+        .unwrap();
         let mut s2 = sim(4);
         let tetrium = run_job(
             &mut s2,
@@ -281,7 +497,8 @@ mod tests {
             &Tetrium::new(),
             &mut wanify::StaticIndependent::new(),
             TransferOptions::default(),
-        );
+        )
+        .unwrap();
         assert!(
             tetrium.latency_s < vanilla.latency_s,
             "tetrium {} vs vanilla {}",
@@ -300,7 +517,8 @@ mod tests {
             &Tetrium::new(),
             &mut wanify::StaticIndependent::new(),
             TransferOptions::default(),
-        );
+        )
+        .unwrap();
         let mut s2 = sim(4);
         let conns = ConnMatrix::from_fn(4, |i, j| if i == j { 1 } else { 4 });
         let parallel = run_job(
@@ -309,7 +527,8 @@ mod tests {
             &Tetrium::new(),
             &mut wanify::StaticIndependent::new(),
             TransferOptions { conns: Some(&conns), hook: None },
-        );
+        )
+        .unwrap();
         assert!(
             parallel.latency_s < single.latency_s,
             "parallel {} vs single {}",
@@ -328,10 +547,50 @@ mod tests {
             &VanillaSpark::new(),
             &mut wanify::StaticIndependent::new(),
             TransferOptions::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(report.shuffle_gb, 0.0);
         assert_eq!(report.min_bw_mbps, 0.0);
         assert!(report.latency_s < 1.0);
+    }
+
+    #[test]
+    fn transferless_job_reports_zero_min_bw() {
+        // Regression: `min_bw` accumulates from `f64::INFINITY`; a job
+        // whose stages never shuffle must report 0, not the sentinel.
+        let mut s = sim(3);
+        let job = JobProfile::new(
+            "local-only",
+            DataLayout::uniform(3, 6.0),
+            vec![StageProfile::terminal("scan", 1.0, 0.5), StageProfile::terminal("agg", 0.1, 0.2)],
+        );
+        let report = run_job(
+            &mut s,
+            &job,
+            &VanillaSpark::new(),
+            &mut wanify::StaticIndependent::new(),
+            TransferOptions::default(),
+        )
+        .unwrap();
+        assert!(report.latency_s > 0.0, "compute still takes time");
+        assert_eq!(report.min_bw_mbps, 0.0);
+        assert!(report.min_bw_mbps.is_finite());
+        assert_eq!(report.shuffle_gb, 0.0);
+    }
+
+    #[test]
+    fn layout_width_mismatch_is_an_error_not_a_panic() {
+        let mut s = sim(4);
+        let job = sort_job(3, 3.0); // 3-DC layout on a 4-DC topology
+        let err = run_job(
+            &mut s,
+            &job,
+            &Tetrium::new(),
+            &mut wanify::StaticIndependent::new(),
+            TransferOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, wanify::WanifyError::DimensionMismatch { expected: 4, got: 3 });
     }
 
     #[test]
@@ -344,7 +603,8 @@ mod tests {
             &VanillaSpark::new(),
             &mut wanify::StaticIndependent::new(),
             TransferOptions::default(),
-        );
+        )
+        .unwrap();
         let total_egress: f64 = report.egress_gb.iter().sum();
         assert!(total_egress > 0.0);
         assert!(report.cost.network_usd > 0.0);

@@ -22,15 +22,26 @@
 //!
 //! Costs follow the paper's accounting (§5.1): compute (with the unlimited
 //! burst vCPU surcharge), inter-region network egress, and storage.
+//!
+//! Two execution paths share the same per-query semantics:
+//!
+//! * [`executor::run_job`] — the legacy blocking path: one query owns the
+//!   simulator until it completes;
+//! * [`fleet::FleetEngine`] — the multi-tenant path: many concurrent
+//!   queries, each a resumable [`executor::JobRun`] state machine, contend
+//!   on one shared WAN through [`wanify_netsim::NetEngine`]. A fleet of
+//!   one reproduces `run_job`'s report bit for bit.
 
 pub mod cost;
 pub mod executor;
+pub mod fleet;
 pub mod job;
 pub mod scheduler;
 pub mod storage;
 
 pub use cost::{CostBreakdown, CostModel};
-pub use executor::{run_job, QueryReport, TransferOptions};
+pub use executor::{run_job, JobRun, JobStep, QueryReport, TransferOptions};
+pub use fleet::{Arrivals, FleetConfig, FleetEngine, FleetReport, JobOutcome, Percentiles};
 pub use job::{JobProfile, StageProfile};
 pub use scheduler::{Kimchi, PlacementCtx, Scheduler, Tetrium, VanillaSpark};
 pub use storage::DataLayout;

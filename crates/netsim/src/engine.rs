@@ -1,0 +1,608 @@
+//! Resumable multi-tenant transfer engine: many flow groups, one WAN.
+//!
+//! [`NetSim::run_transfers`] is a run-to-completion call: one batch of
+//! transfers gets the whole network until it drains. Real GDA clusters
+//! are not like that — queries from many tenants overlap, and every
+//! shuffle contends with everyone else's shuffles on the same NICs and
+//! backbone paths (the regime Tetrium and Kimchi actually target).
+//! [`NetEngine`] generalizes the same event-coalescing machinery into a
+//! *resumable* core:
+//!
+//! * [`NetEngine::submit`] registers a job-tagged **flow group** (one
+//!   query's shuffle) at the current simulation time, mid-flight of any
+//!   other group. A submission is just another rate-change event — the
+//!   next solve sees the new flows, and every pair whose fair share moved
+//!   re-anchors, exactly as a pair drain would.
+//! * [`NetEngine::advance_until`] advances the simulation until the next
+//!   **group completion event** or a caller deadline (a compute timer, an
+//!   arrival), whichever comes first, and returns the completed groups'
+//!   [`GroupReport`]s.
+//!
+//! With frozen dynamics the engine keeps the `O(events)` cost model of
+//! the coalesced transfer loop: one fairness solve per segment, where a
+//! segment ends at a pair drain, a new submission, or a caller deadline.
+//! A lone group stepped to completion is **bit-identical** to
+//! [`NetSim::run_transfers`] on the same transfers: both evaluate the
+//! same closed-form per-pair expressions at the same anchor points (see
+//! `engine_matches_run_transfers_for_a_lone_group` below and the parity
+//! proptest in `wanify-gda`).
+//!
+//! Flows from *different* groups on the same DC pair stay distinct and
+//! contend under weighted max-min fairness; flows *within* a group on the
+//! same pair share one flow, as in `run_transfers` (Spark executors
+//! multiplex a connection pool per peer).
+
+use crate::flow::{FlowSpec, Transfer};
+use crate::grid::{BwMatrix, ConnMatrix};
+use crate::sim::{
+    epochs_to_drain, NetSim, PairProgress, RateScratch, RunStats, MAX_EPOCHS, PAYLOAD_EPS_GB,
+};
+use crate::topology::DcId;
+
+/// Identifier of a submitted flow group, unique within one engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub u64);
+
+/// Completion record of one flow group.
+#[derive(Debug, Clone)]
+pub struct GroupReport {
+    /// The group this report describes.
+    pub group: GroupId,
+    /// Simulation time when the group was submitted, seconds.
+    pub submitted_s: f64,
+    /// Simulation time when the last pair drained, seconds.
+    pub completed_s: f64,
+    /// Longest per-pair busy time within the group, seconds — the same
+    /// quantity [`crate::TransferReport::makespan_s`] reports.
+    pub makespan_s: f64,
+    /// Smallest per-pair mean throughput among pairs that carried data.
+    pub min_pair_bw_mbps: f64,
+    /// Total gigabits moved per source DC (egress cost accounting).
+    pub egress_gigabits: Vec<f64>,
+}
+
+/// One submitted group's in-flight state.
+#[derive(Debug)]
+struct GroupState {
+    id: GroupId,
+    conns: ConnMatrix,
+    pairs: Vec<PairProgress>,
+    active_pairs: usize,
+    submitted_s: f64,
+    /// Whether any transfer carried a strictly positive payload (drives
+    /// the one-epoch makespan floor, as in `run_transfers`).
+    any_payload: bool,
+}
+
+/// The resumable multi-tenant transfer engine. See the module docs.
+#[derive(Debug)]
+pub struct NetEngine {
+    sim: NetSim,
+    groups: Vec<GroupState>,
+    next_group: u64,
+    /// Reports of groups that completed instantly at submission (no WAN
+    /// payload), delivered by the next `advance_until` call.
+    ready: Vec<GroupReport>,
+    stats: RunStats,
+    scratch: RateScratch,
+    flows: Vec<FlowSpec>,
+    /// `(group index, pair index)` per entry of `flows`.
+    flow_refs: Vec<(usize, usize)>,
+}
+
+impl NetEngine {
+    /// Wraps `sim` into an engine. The engine drives all simulation time
+    /// while groups are in flight.
+    pub fn new(sim: NetSim) -> Self {
+        let coalesced = sim.dynamics().is_frozen();
+        Self {
+            sim,
+            groups: Vec::new(),
+            next_group: 0,
+            ready: Vec::new(),
+            stats: RunStats { solves: 0, epochs: 0, coalesced },
+            scratch: RateScratch::default(),
+            flows: Vec::new(),
+            flow_refs: Vec::new(),
+        }
+    }
+
+    /// Read access to the wrapped simulator.
+    pub fn sim(&self) -> &NetSim {
+        &self.sim
+    }
+
+    /// Mutable access to the wrapped simulator, e.g. for gauging a
+    /// [`BandwidthSource`](crate::BwMatrix) belief between events. Probes
+    /// advance simulation time (measurement costs real seconds); in-flight
+    /// pairs do not progress during that window, so measurement occupies
+    /// wall-clock time without moving tenant payload — the monitoring-cost
+    /// tradeoff the paper's Table 2 is about.
+    pub fn sim_mut(&mut self) -> &mut NetSim {
+        &mut self.sim
+    }
+
+    /// Unwraps the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if groups are still in flight (their accounting would be
+    /// silently dropped).
+    pub fn into_sim(self) -> NetSim {
+        assert!(
+            self.groups.is_empty() && self.ready.is_empty(),
+            "cannot unwrap a NetEngine with {} group(s) in flight",
+            self.groups.len() + self.ready.len()
+        );
+        self.sim
+    }
+
+    /// Number of groups currently in flight (excluding instantly-completed
+    /// ones awaiting delivery).
+    pub fn active_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when no group is in flight and no completion awaits delivery.
+    pub fn is_idle(&self) -> bool {
+        self.groups.is_empty() && self.ready.is_empty()
+    }
+
+    /// True when at least one in-flight pair held a positive rate at the
+    /// last fairness solve — i.e. another [`NetEngine::advance_until`]
+    /// call can still move payload. `false` with groups in flight means
+    /// every remaining flow is rate-zero (e.g. a 0-Mbps throttle): no
+    /// amount of stepping will ever drain them. Callers driving the
+    /// engine with open deadlines should treat an empty `advance_until`
+    /// result as a permanent stall only when this is `false`; otherwise
+    /// the call merely exhausted its per-call epoch budget on a slow but
+    /// progressing transfer.
+    pub fn has_live_flows(&self) -> bool {
+        self.groups.iter().any(|g| g.pairs.iter().any(|p| p.active && p.quota > 0.0))
+    }
+
+    /// Cumulative engine statistics (also mirrored into
+    /// [`NetSim::last_run_stats`] after every step).
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Submits a flow group at the current simulation time and returns its
+    /// id. The group's transfers aggregate per directed pair (one flow per
+    /// pair, as in [`NetSim::run_transfers`]); `conns` is the group's
+    /// parallel-connection matrix. A group with no effective payload
+    /// completes instantly and is reported by the next
+    /// [`NetEngine::advance_until`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conns` does not match the topology size or any payload
+    /// is negative.
+    pub fn submit(&mut self, transfers: &[Transfer], conns: &ConnMatrix) -> GroupId {
+        let n = self.sim.topology().len();
+        assert_eq!(conns.len(), n, "connection matrix must match topology size");
+        for t in transfers {
+            assert!(t.gigabits >= 0.0, "transfer payload must be non-negative");
+        }
+        let id = GroupId(self.next_group);
+        self.next_group += 1;
+
+        let mut totals = BwMatrix::new(n);
+        for t in transfers {
+            totals.put(t.src, t.dst, totals.at(t.src, t.dst) + t.gigabits);
+        }
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if totals.get(i, j) > PAYLOAD_EPS_GB {
+                    pairs.push(PairProgress::new(i, j, totals.get(i, j)));
+                }
+            }
+        }
+        let any_payload = transfers.iter().any(|t| t.gigabits > 0.0);
+        let now = self.sim.time_s();
+        if pairs.is_empty() {
+            // Nothing crosses the WAN: completion is immediate, with the
+            // same one-epoch floor run_transfers applies to sub-epsilon
+            // payloads.
+            let dt = self.sim.params().epoch_dt_s.max(1e-3);
+            self.ready.push(GroupReport {
+                group: id,
+                submitted_s: now,
+                completed_s: now,
+                makespan_s: if any_payload { dt } else { 0.0 },
+                min_pair_bw_mbps: 0.0,
+                egress_gigabits: vec![0.0; n],
+            });
+        } else {
+            let active_pairs = pairs.len();
+            self.groups.push(GroupState {
+                id,
+                conns: conns.clone(),
+                pairs,
+                active_pairs,
+                submitted_s: now,
+                any_payload,
+            });
+        }
+        id
+    }
+
+    /// Advances the simulation until the next group completion or until
+    /// `deadline_s` (absolute simulation time), whichever comes first, and
+    /// returns every group that completed at that instant (often one, but
+    /// simultaneous drains are possible). An empty result means the
+    /// deadline was reached — or the engine is idle, in which case time
+    /// jumps straight to a finite deadline.
+    ///
+    /// With frozen dynamics, fairness is re-solved once per segment (pair
+    /// drain, submission, deadline); with live dynamics the engine steps
+    /// every epoch so rates track the drift, as `run_transfers` does.
+    pub fn advance_until(&mut self, deadline_s: f64) -> Vec<GroupReport> {
+        if !self.ready.is_empty() {
+            self.sync_stats();
+            return std::mem::take(&mut self.ready);
+        }
+        let dt = self.sim.params().epoch_dt_s.max(1e-3);
+        let fast = self.sim.dynamics().is_frozen();
+        let mut completed: Vec<GroupReport> = Vec::new();
+        let mut epochs_this_call: usize = 0;
+
+        while completed.is_empty() {
+            let now = self.sim.time_s();
+            if self.groups.is_empty() {
+                if deadline_s.is_finite() && deadline_s > now {
+                    self.sim.advance(deadline_s - now);
+                }
+                break;
+            }
+            if deadline_s <= now || epochs_this_call >= MAX_EPOCHS {
+                break;
+            }
+
+            // Build the active flow set across all groups, in submission
+            // order then ascending (src, dst) — fully deterministic.
+            self.flows.clear();
+            self.flow_refs.clear();
+            for (g, group) in self.groups.iter().enumerate() {
+                for (p, pair) in group.pairs.iter().enumerate() {
+                    if pair.active {
+                        let c = if pair.src == pair.dst {
+                            1
+                        } else {
+                            group.conns.get(pair.src, pair.dst).max(1)
+                        };
+                        self.flows.push(FlowSpec::new(DcId(pair.src), DcId(pair.dst), c));
+                        self.flow_refs.push((g, p));
+                    }
+                }
+            }
+            let rates = self.sim.allocate_rates_with(&self.flows, &mut self.scratch);
+            self.stats.solves += 1;
+
+            // Re-anchor every pair whose per-epoch quota changed (drains,
+            // new submissions and deadline re-entries all funnel through
+            // this one check).
+            for (f, &(g, p)) in self.flow_refs.iter().enumerate() {
+                let quota = rates[f] * dt / 1000.0;
+                let pair = &mut self.groups[g].pairs[p];
+                if quota != pair.quota {
+                    pair.reanchor(dt);
+                    pair.quota = quota;
+                }
+            }
+
+            // Epochs to the next drain event (fast path) or exactly one
+            // (per-epoch stepping under live dynamics).
+            let k_drain: u64 = if fast {
+                let mut k = u64::MAX;
+                for &(g, p) in &self.flow_refs {
+                    let pair = &self.groups[g].pairs[p];
+                    if let Some(m) = epochs_to_drain(pair.remaining, pair.quota, pair.served) {
+                        k = k.min(m - pair.served);
+                    }
+                }
+                k.max(1)
+            } else {
+                1
+            };
+            // Whole epochs that fit before the caller's deadline.
+            let k_deadline: u64 = if deadline_s.is_finite() {
+                ((deadline_s - now) / dt).floor() as u64
+            } else {
+                u64::MAX
+            };
+            let budget = (MAX_EPOCHS - epochs_this_call) as u64;
+
+            if k_drain <= k_deadline {
+                let k = k_drain.min(budget);
+                for &(g, p) in &self.flow_refs {
+                    let group = &mut self.groups[g];
+                    let pair = &mut group.pairs[p];
+                    pair.served += k;
+                    if pair.current_remaining() <= PAYLOAD_EPS_GB {
+                        pair.drain(dt);
+                        group.active_pairs -= 1;
+                    }
+                }
+                epochs_this_call += k as usize;
+                self.stats.epochs += k;
+                self.sim.advance(k as f64 * dt);
+                let done_at = self.sim.time_s();
+                for group in &self.groups {
+                    if group.active_pairs == 0 {
+                        completed.push(Self::report(group, dt, done_at));
+                    }
+                }
+                self.groups.retain(|g| g.active_pairs > 0);
+            } else {
+                // The deadline lands before the next drain: serve the
+                // whole epochs that fit, plus the fractional remainder
+                // (multi-tenant only — a lone group never hits this), and
+                // hand control back.
+                let k = k_deadline.min(budget);
+                if k > 0 {
+                    for &(g, p) in &self.flow_refs {
+                        self.groups[g].pairs[p].served += k;
+                    }
+                    self.stats.epochs += k;
+                    self.sim.advance(k as f64 * dt);
+                }
+                let frac_s = deadline_s - self.sim.time_s();
+                if frac_s > 0.0 {
+                    for &(g, p) in &self.flow_refs {
+                        let group = &mut self.groups[g];
+                        let pair = &mut group.pairs[p];
+                        pair.serve_partial(frac_s / dt, dt);
+                        // A pair can finish *inside* the fraction (its
+                        // drain was due next epoch); mark it drained now
+                        // so its group completes at the deadline instead
+                        // of occupying a fairness share for one more
+                        // no-payload epoch.
+                        if pair.active && pair.remaining <= PAYLOAD_EPS_GB {
+                            pair.drain(dt);
+                            group.active_pairs -= 1;
+                        }
+                    }
+                    self.sim.advance(frac_s);
+                    let done_at = self.sim.time_s();
+                    for group in &self.groups {
+                        if group.active_pairs == 0 {
+                            completed.push(Self::report(group, dt, done_at));
+                        }
+                    }
+                    self.groups.retain(|g| g.active_pairs > 0);
+                }
+                break;
+            }
+        }
+        self.sync_stats();
+        completed
+    }
+
+    /// Materializes a completed group's accounting.
+    fn report(group: &GroupState, dt: f64, completed_s: f64) -> GroupReport {
+        debug_assert_eq!(group.active_pairs, 0);
+        let mut makespan = if group.any_payload { dt } else { 0.0 };
+        let mut min_bw = f64::INFINITY;
+        let n = group.conns.len();
+        let mut egress = vec![0.0; n];
+        for pair in &group.pairs {
+            makespan = makespan.max(pair.busy);
+            if pair.busy > 0.0 {
+                min_bw = min_bw.min(pair.moved * 1000.0 / pair.busy);
+            }
+            egress[pair.src] += pair.moved;
+        }
+        GroupReport {
+            group: group.id,
+            submitted_s: group.submitted_s,
+            completed_s,
+            makespan_s: makespan,
+            min_pair_bw_mbps: if min_bw.is_finite() { min_bw } else { 0.0 },
+            egress_gigabits: egress,
+        }
+    }
+
+    /// Mirrors cumulative counters into the simulator so
+    /// [`NetSim::last_run_stats`] stays coherent across mid-flight
+    /// submissions.
+    fn sync_stats(&mut self) {
+        self.sim.set_last_run_stats(self.stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::Region;
+    use crate::params::LinkModelParams;
+    use crate::topology::Topology;
+    use crate::vm::VmType;
+
+    fn sim3() -> NetSim {
+        let topo = Topology::builder()
+            .dc(Region::UsEast, VmType::t3_nano(), 1)
+            .dc(Region::UsWest, VmType::t3_nano(), 1)
+            .dc(Region::ApSoutheast1, VmType::t3_nano(), 1)
+            .build()
+            .unwrap();
+        NetSim::new(topo, LinkModelParams::frozen(), 1)
+    }
+
+    fn drive_to_completion(engine: &mut NetEngine) -> Vec<GroupReport> {
+        let mut reports = Vec::new();
+        while !engine.is_idle() {
+            reports.extend(engine.advance_until(f64::INFINITY));
+        }
+        reports
+    }
+
+    #[test]
+    fn engine_matches_run_transfers_for_a_lone_group() {
+        let transfers = [
+            Transfer::new(DcId(0), DcId(1), 40.0),
+            Transfer::new(DcId(0), DcId(2), 10.0),
+            Transfer::new(DcId(2), DcId(1), 5.0),
+        ];
+        let conns = ConnMatrix::filled(3, 2);
+
+        let mut sim = sim3();
+        let blocking = sim.run_transfers(&transfers, &conns, None);
+        let blocking_stats = sim.last_run_stats();
+
+        let mut engine = NetEngine::new(sim3());
+        engine.submit(&transfers, &conns);
+        let reports = drive_to_completion(&mut engine);
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.makespan_s.to_bits(), blocking.makespan_s.to_bits());
+        assert_eq!(r.min_pair_bw_mbps.to_bits(), blocking.min_pair_bw_mbps.to_bits());
+        for (a, b) in r.egress_gigabits.iter().zip(&blocking.egress_gigabits) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let stats = engine.sim().last_run_stats();
+        assert_eq!(stats.solves, blocking_stats.solves);
+        assert_eq!(stats.epochs, blocking_stats.epochs);
+        assert!(stats.coalesced);
+    }
+
+    #[test]
+    fn mid_flight_submission_slows_the_first_tenant() {
+        let transfers = [Transfer::new(DcId(0), DcId(1), 20.0)];
+        let conns = ConnMatrix::filled(3, 1);
+
+        let mut solo = NetEngine::new(sim3());
+        solo.submit(&transfers, &conns);
+        let solo_report = drive_to_completion(&mut solo).remove(0);
+
+        let mut shared = NetEngine::new(sim3());
+        shared.submit(&transfers, &conns);
+        // A second tenant arrives 2 s in, shuffling on the same pair.
+        let mid = shared.advance_until(2.0);
+        assert!(mid.is_empty(), "nothing should drain in the first 2 s");
+        shared.submit(&[Transfer::new(DcId(0), DcId(1), 20.0)], &conns);
+        let reports = drive_to_completion(&mut shared);
+        assert_eq!(reports.len(), 2);
+        let first = reports.iter().find(|r| r.group == GroupId(0)).unwrap();
+        assert!(
+            first.makespan_s > solo_report.makespan_s,
+            "contended {} vs solo {}",
+            first.makespan_s,
+            solo_report.makespan_s
+        );
+    }
+
+    #[test]
+    fn stats_stay_coherent_across_mid_flight_submissions() {
+        let conns = ConnMatrix::filled(3, 1);
+        let mut engine = NetEngine::new(sim3());
+        engine.submit(&[Transfer::new(DcId(0), DcId(1), 8.0)], &conns);
+        let _ = engine.advance_until(1.0);
+        let after_first = engine.sim().last_run_stats();
+        assert!(after_first.solves >= 1);
+        engine.submit(&[Transfer::new(DcId(2), DcId(1), 8.0)], &conns);
+        let _ = drive_to_completion(&mut engine);
+        let final_stats = engine.sim().last_run_stats();
+        assert!(final_stats.solves > after_first.solves, "solves must accumulate");
+        assert!(final_stats.epochs > after_first.epochs, "epochs must accumulate");
+        assert_eq!(final_stats, engine.stats());
+        assert!(final_stats.coalesced);
+    }
+
+    #[test]
+    fn deadline_is_respected_and_resumable() {
+        let conns = ConnMatrix::filled(3, 1);
+        let mut engine = NetEngine::new(sim3());
+        engine.submit(&[Transfer::new(DcId(0), DcId(2), 50.0)], &conns);
+        // Deadline strictly inside an epoch: time must land exactly there.
+        let none = engine.advance_until(2.6);
+        assert!(none.is_empty());
+        assert!((engine.sim().time_s() - 2.6).abs() < 1e-9);
+        assert_eq!(engine.active_groups(), 1);
+        let reports = drive_to_completion(&mut engine);
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].completed_s > 2.6);
+    }
+
+    #[test]
+    fn idle_engine_jumps_to_deadline() {
+        let mut engine = NetEngine::new(sim3());
+        assert!(engine.is_idle());
+        let none = engine.advance_until(7.5);
+        assert!(none.is_empty());
+        assert!((engine.sim().time_s() - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_group_completes_instantly() {
+        let conns = ConnMatrix::filled(3, 1);
+        let mut engine = NetEngine::new(sim3());
+        let id = engine.submit(&[Transfer::new(DcId(0), DcId(1), 0.0)], &conns);
+        assert!(!engine.is_idle());
+        let reports = engine.advance_until(f64::INFINITY);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].group, id);
+        assert_eq!(reports[0].makespan_s, 0.0);
+        assert_eq!(reports[0].min_pair_bw_mbps, 0.0);
+        assert!(engine.is_idle());
+        assert_eq!(engine.sim().time_s(), 0.0, "no time passes for an empty group");
+    }
+
+    #[test]
+    fn has_live_flows_separates_stalls_from_slow_transfers() {
+        let conns = ConnMatrix::filled(3, 1);
+        // A progressing transfer: live flows while in flight.
+        let mut engine = NetEngine::new(sim3());
+        engine.submit(&[Transfer::new(DcId(0), DcId(1), 10.0)], &conns);
+        let _ = engine.advance_until(1.0);
+        assert!(engine.has_live_flows());
+        // A rate-zero transfer (0-Mbps throttle): permanently stalled.
+        let mut sim = sim3();
+        sim.set_throttle(DcId(0), DcId(1), 0.0);
+        let mut engine = NetEngine::new(sim);
+        engine.submit(&[Transfer::new(DcId(0), DcId(1), 1.0)], &conns);
+        let none = engine.advance_until(f64::INFINITY);
+        assert!(none.is_empty(), "a rate-zero pair can never drain");
+        assert!(!engine.is_idle());
+        assert!(!engine.has_live_flows(), "stall must be distinguishable from slowness");
+    }
+
+    #[test]
+    fn pair_finishing_inside_a_fractional_serve_drains_at_the_deadline() {
+        let conns = ConnMatrix::filled(3, 1);
+        let mut engine = NetEngine::new(sim3());
+        let dt = engine.sim().params().epoch_dt_s;
+        // Size the payload to 80 % of one epoch's quota: it would drain at
+        // the first whole epoch, but a deadline at 0.9 epochs covers it
+        // (0.9 × quota ≥ 0.8 × quota), so the partial serve must finish it.
+        let rate = engine.sim().allocate_rates(&[FlowSpec::new(DcId(0), DcId(1), 1)])[0];
+        let quota_gb = rate * dt / 1000.0;
+        engine.submit(&[Transfer::new(DcId(0), DcId(1), 0.8 * quota_gb)], &conns);
+        let events = engine.advance_until(0.9 * dt);
+        assert_eq!(events.len(), 1, "the pair drained inside the fraction");
+        assert!((events[0].completed_s - 0.9 * dt).abs() < 1e-9);
+        assert!(engine.is_idle());
+    }
+
+    #[test]
+    fn payload_is_conserved_across_tenants() {
+        let conns = ConnMatrix::filled(3, 2);
+        let mut engine = NetEngine::new(sim3());
+        engine.submit(&[Transfer::new(DcId(0), DcId(1), 6.0)], &conns);
+        let _ = engine.advance_until(1.3); // force a fractional-epoch serve
+        engine.submit(&[Transfer::new(DcId(1), DcId(2), 4.0)], &conns);
+        let reports = drive_to_completion(&mut engine);
+        let moved: f64 = reports.iter().flat_map(|r| r.egress_gigabits.iter()).sum();
+        assert!((moved - 10.0).abs() < 1e-6, "moved {moved} Gb of 10 Gb submitted");
+    }
+
+    #[test]
+    #[should_panic(expected = "in flight")]
+    fn into_sim_refuses_while_groups_run() {
+        let conns = ConnMatrix::filled(3, 1);
+        let mut engine = NetEngine::new(sim3());
+        engine.submit(&[Transfer::new(DcId(0), DcId(1), 1.0)], &conns);
+        let _ = engine.into_sim();
+    }
+}

@@ -35,6 +35,12 @@
 //! dynamic runs step (and re-solve) every epoch, so local agents always
 //! observe each simulated second.
 //!
+//! For multi-tenant workloads — many queries' shuffles contending on one
+//! WAN — the [`engine`] module generalizes the same machinery into the
+//! resumable [`NetEngine`]: job-tagged flow groups submitted mid-flight,
+//! completion events, and caller deadlines, still at one fairness solve
+//! per event.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -53,6 +59,7 @@
 //! ```
 
 pub mod dynamics;
+pub mod engine;
 pub mod fairness;
 pub mod flow;
 pub mod geo;
@@ -66,6 +73,7 @@ pub mod vm;
 mod params;
 
 pub use dynamics::Dynamics;
+pub use engine::{GroupId, GroupReport, NetEngine};
 pub use fairness::{allocate_max_min, FairnessProblem, FairnessWorkspace, ResourceKind};
 pub use flow::{FlowId, FlowSpec, Transfer, TransferReport};
 pub use geo::{haversine_miles, GeoPoint, Region};

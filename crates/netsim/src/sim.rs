@@ -107,28 +107,29 @@ pub struct RateScratch {
 
 const NOT_IN_PROBLEM: usize = usize::MAX;
 
-/// Progress of one directed pair through `run_transfers`, kept as an
-/// anchor plus a whole number of epochs served at the current quota so
-/// coalesced jumps and per-epoch steps evaluate identical expressions.
+/// Progress of one directed pair through `run_transfers` (and the
+/// multi-tenant [`crate::engine::NetEngine`]), kept as an anchor plus a
+/// whole number of epochs served at the current quota so coalesced jumps
+/// and per-epoch steps evaluate identical expressions.
 #[derive(Debug, Clone, Copy)]
-struct PairProgress {
-    src: usize,
-    dst: usize,
+pub(crate) struct PairProgress {
+    pub(crate) src: usize,
+    pub(crate) dst: usize,
     /// Remaining payload at the segment anchor, gigabits.
-    remaining: f64,
+    pub(crate) remaining: f64,
     /// Moved payload at the anchor, gigabits.
-    moved: f64,
+    pub(crate) moved: f64,
     /// Busy time at the anchor, seconds.
-    busy: f64,
+    pub(crate) busy: f64,
     /// Per-epoch quota at the current rate (`rate · dt / 1000`), gigabits.
-    quota: f64,
+    pub(crate) quota: f64,
     /// Whole epochs served since the anchor.
-    served: u64,
-    active: bool,
+    pub(crate) served: u64,
+    pub(crate) active: bool,
 }
 
 impl PairProgress {
-    fn new(src: usize, dst: usize, total: f64) -> Self {
+    pub(crate) fn new(src: usize, dst: usize, total: f64) -> Self {
         Self {
             src,
             dst,
@@ -142,13 +143,13 @@ impl PairProgress {
     }
 
     /// Remaining payload after the served epochs, in gigabits.
-    fn current_remaining(&self) -> f64 {
+    pub(crate) fn current_remaining(&self) -> f64 {
         self.remaining - self.served as f64 * self.quota
     }
 
     /// Folds the served epochs into the anchor; called when the pair's
     /// quota is about to change and when a run ends mid-segment.
-    fn reanchor(&mut self, dt: f64) {
+    pub(crate) fn reanchor(&mut self, dt: f64) {
         if self.served > 0 {
             let m = self.served as f64;
             self.remaining -= m * self.quota;
@@ -160,12 +161,26 @@ impl PairProgress {
 
     /// Marks the pair drained: its last served epoch moved the remainder
     /// (including any sub-epsilon crumb, ~1 bit at most).
-    fn drain(&mut self, dt: f64) {
+    pub(crate) fn drain(&mut self, dt: f64) {
         self.busy += self.served as f64 * dt;
         self.moved += self.remaining;
         self.remaining = 0.0;
         self.served = 0;
         self.active = false;
+    }
+
+    /// Serves a *fraction* of an epoch (`0 < frac < 1`) at the current
+    /// quota, folding straight into the anchor. Only the multi-tenant
+    /// engine uses this, when an external deadline (a compute timer of
+    /// another tenant) lands strictly inside an epoch; single-group runs
+    /// never take this path, which keeps them bit-identical to
+    /// [`NetSim::run_transfers`].
+    pub(crate) fn serve_partial(&mut self, frac: f64, dt: f64) {
+        self.reanchor(dt);
+        let moved = (frac * self.quota).min(self.remaining);
+        self.remaining -= moved;
+        self.moved += moved;
+        self.busy += frac * dt;
     }
 }
 
@@ -174,7 +189,7 @@ impl PairProgress {
 /// never drains (zero or vanishing rate). Evaluates the exact float
 /// expression of [`PairProgress::current_remaining`], so the answer
 /// matches per-epoch stepping bit for bit.
-fn epochs_to_drain(remaining: f64, quota: f64, served: u64) -> Option<u64> {
+pub(crate) fn epochs_to_drain(remaining: f64, quota: f64, served: u64) -> Option<u64> {
     if quota <= 0.0 {
         return None;
     }
@@ -261,9 +276,17 @@ impl NetSim {
         &self.dynamics
     }
 
-    /// Statistics about the most recent [`NetSim::run_transfers`] call.
+    /// Statistics about the most recent [`NetSim::run_transfers`] call or
+    /// the cumulative work of an attached [`crate::engine::NetEngine`].
     pub fn last_run_stats(&self) -> RunStats {
         self.last_run_stats
+    }
+
+    /// Overwrites the run statistics; the multi-tenant engine mirrors its
+    /// cumulative solve/epoch counters here after every step so the stats
+    /// stay coherent across mid-flight submissions.
+    pub(crate) fn set_last_run_stats(&mut self, stats: RunStats) {
+        self.last_run_stats = stats;
     }
 
     /// Caps the directed pair `src → dst` at `cap_mbps` (traffic control,

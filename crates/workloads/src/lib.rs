@@ -9,7 +9,9 @@
 //! * [`tpcds`] — TPC-DS query profiles for queries 82 (light-weight), 95
 //!   and 11 (average-weight) and 78 (heavy-weight) (Table 4, Figs. 7-8);
 //! * [`quantization`] — an SAGQ-style geo-distributed ML training loop
-//!   whose gradient precision adapts to believed bandwidth (Fig. 4).
+//!   whose gradient precision adapts to believed bandwidth (Fig. 4);
+//! * [`trace`] — deterministic mixed multi-tenant job streams (TeraSort /
+//!   WordCount / TPC-DS mix) for the `wanify-gda` fleet engine.
 //!
 //! Each model captures the *shape* that drives WAN behaviour — stage
 //! structure, shuffle volume per DC pair and compute/network balance — not
@@ -18,7 +20,9 @@
 pub mod quantization;
 pub mod terasort;
 pub mod tpcds;
+pub mod trace;
 pub mod wordcount;
 
 pub use quantization::{QuantConfig, QuantPolicy, TrainingReport};
 pub use tpcds::TpcDsQuery;
+pub use trace::{mixed_trace, TraceConfig};

@@ -1,0 +1,159 @@
+//! Mixed multi-tenant job traces for the fleet engine.
+//!
+//! The paper evaluates workloads one at a time; a production cluster runs
+//! them *together*. [`mixed_trace`] deterministically samples a stream of
+//! jobs with the weight mix of §5.1's workload set — shuffle-heavy
+//! TeraSorts, WordCounts with varying intermediate sizes, and the four
+//! TPC-DS weight classes — scaled down so dozens of queries fit in one
+//! simulated serving window. Every job's input size and skew are drawn
+//! from a seeded stream: equal `(seed, n_dcs, jobs)` inputs produce an
+//! identical trace, which is what makes fleet runs reproducible end to
+//! end.
+
+use crate::{terasort, wordcount, TpcDsQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wanify_gda::{DataLayout, JobProfile};
+
+/// Shape of one [`mixed_trace`] job stream.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Data centers every job's layout must cover.
+    pub n_dcs: usize,
+    /// Number of jobs in the trace.
+    pub jobs: usize,
+    /// Seed of the sampling stream.
+    pub seed: u64,
+    /// Multiplier on every job's input size (1.0 ≈ 1–8 GB per query,
+    /// sized for fleet runs rather than the paper's 100 GB solo runs).
+    pub scale: f64,
+}
+
+impl TraceConfig {
+    /// A fleet-sized trace over `n_dcs` data centers.
+    pub fn new(n_dcs: usize, jobs: usize, seed: u64) -> Self {
+        Self { n_dcs, jobs, seed, scale: 1.0 }
+    }
+
+    /// Sets the input-size multiplier.
+    #[must_use]
+    pub fn scaled(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+}
+
+/// Samples the deterministic mixed trace described in the module docs.
+///
+/// The mix is roughly 20 % TeraSort, 30 % WordCount and 50 % TPC-DS
+/// (uniform over Q82/Q95/Q11/Q78), with per-job input sizes jittered and
+/// a third of the jobs skewed toward one region, as block layouts in the
+/// paper's §5.8.1 skew study are.
+///
+/// # Panics
+///
+/// Panics if `n_dcs == 0`, `jobs == 0` or `scale <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use wanify_workloads::trace::{mixed_trace, TraceConfig};
+/// let jobs = mixed_trace(&TraceConfig::new(4, 10, 7));
+/// assert_eq!(jobs.len(), 10);
+/// assert_eq!(jobs, mixed_trace(&TraceConfig::new(4, 10, 7)));
+/// ```
+pub fn mixed_trace(cfg: &TraceConfig) -> Vec<JobProfile> {
+    assert!(cfg.n_dcs > 0, "a trace needs at least one DC");
+    assert!(cfg.jobs > 0, "a trace needs at least one job");
+    assert!(cfg.scale > 0.0, "trace scale must be positive");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut jobs = Vec::with_capacity(cfg.jobs);
+    for idx in 0..cfg.jobs {
+        let input_gb = cfg.scale * rng.gen_range(1.0..8.0);
+        let layout = sample_layout(cfg.n_dcs, input_gb, &mut rng);
+        let pick: f64 = rng.gen();
+        let mut job = if pick < 0.2 {
+            terasort::job(layout)
+        } else if pick < 0.5 {
+            // Intermediate size between 10 % and 120 % of the input, the
+            // span of the paper's Fig. 6 sweep.
+            let intermediate_mb = input_gb * 1024.0 * rng.gen_range(0.1..1.2);
+            wordcount::job_with_intermediate(layout, intermediate_mb)
+        } else {
+            let q = TpcDsQuery::all()[rng.gen_range(0..4usize)];
+            let mut j = q.job(cfg.n_dcs, input_gb);
+            j.layout = layout;
+            j
+        };
+        job.name = format!("{}-{idx}", job.name);
+        jobs.push(job);
+    }
+    jobs
+}
+
+/// Uniform layout two thirds of the time, one third skewed toward a
+/// random region (as the paper's HDFS block moves create).
+fn sample_layout(n_dcs: usize, input_gb: f64, rng: &mut StdRng) -> DataLayout {
+    let mut layout = DataLayout::uniform(n_dcs, input_gb);
+    if n_dcs > 1 && rng.gen_range(0..3usize) == 0 {
+        let hot = rng.gen_range(0..n_dcs);
+        for from in 0..n_dcs {
+            if from != hot {
+                let half = layout.blocks_per_dc[from] / 2;
+                layout.move_blocks(from, hot, half);
+            }
+        }
+    }
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic() {
+        let a = mixed_trace(&TraceConfig::new(8, 40, 3));
+        let b = mixed_trace(&TraceConfig::new(8, 40, 3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = mixed_trace(&TraceConfig::new(8, 40, 3));
+        let b = mixed_trace(&TraceConfig::new(8, 40, 4));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn trace_mixes_workload_families() {
+        let jobs = mixed_trace(&TraceConfig::new(4, 60, 11));
+        let count = |prefix: &str| jobs.iter().filter(|j| j.name.starts_with(prefix)).count();
+        assert!(count("terasort") > 0, "no terasort in the mix");
+        assert!(count("wordcount") > 0, "no wordcount in the mix");
+        assert!(count("q") > 0, "no TPC-DS in the mix");
+        assert_eq!(count("terasort") + count("wordcount") + count("q"), 60);
+    }
+
+    #[test]
+    fn layouts_cover_the_cluster_and_respect_scale() {
+        let jobs = mixed_trace(&TraceConfig::new(5, 30, 9).scaled(0.5));
+        for j in &jobs {
+            assert_eq!(j.layout.len(), 5);
+            assert!(j.input_gb() <= 0.5 * 8.0 + 0.1, "{} too big", j.input_gb());
+        }
+    }
+
+    #[test]
+    fn some_jobs_are_skewed() {
+        let jobs = mixed_trace(&TraceConfig::new(6, 60, 2));
+        assert!(jobs.iter().any(|j| j.layout.skewness() > 0.2));
+        assert!(jobs.iter().any(|j| j.layout.skewness() < 0.05));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_jobs_panics() {
+        let _ = mixed_trace(&TraceConfig::new(4, 0, 1));
+    }
+}

@@ -38,7 +38,8 @@ fn main() {
         &sched,
         env.source(Belief::Predicted).as_mut(),
         TransferOptions { conns: Some(&conns), hook: None },
-    );
+    )
+    .expect("terasort matches the 8-DC testbed");
     println!(
         "uniform 8 conns     latency {:>6.0}s  cost {}  min BW {:>5.0} Mbps",
         uniform.latency_s, uniform.cost, uniform.min_bw_mbps

@@ -60,7 +60,8 @@ fn every_scheduler_runs_on_every_source() {
                 sched.as_ref(),
                 source.as_mut(),
                 TransferOptions::default(),
-            );
+            )
+            .unwrap();
             assert!(report.latency_s > 0.0, "{}/{expected_name}", sched.name());
             assert_eq!(report.belief, expected_name, "{}", sched.name());
         }

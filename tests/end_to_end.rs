@@ -82,7 +82,8 @@ fn agents_adjust_connections_during_execution() {
         &Tetrium::new(),
         &mut Pregauged::named(plan.achievable_bw().clone(), "wanify(predicted)"),
         TransferOptions { conns: Some(&conns), hook: Some(&mut agent) },
-    );
+    )
+    .unwrap();
     assert!(agent.updates() > 0, "agents must run during the shuffle");
     assert!(!agent.trace().is_empty());
 }

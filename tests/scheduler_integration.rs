@@ -74,7 +74,8 @@ fn schedulers_survive_degenerate_beliefs() {
             &Tetrium::new(),
             &mut Pregauged::from(matrix),
             TransferOptions::default(),
-        );
+        )
+        .unwrap();
         assert!(r.latency_s.is_finite() && r.latency_s > 0.0);
     }
 }
@@ -102,7 +103,8 @@ fn tetrium_migration_registers_in_the_report() {
         &Tetrium::new(),
         &mut Pregauged::from(belief),
         TransferOptions::default(),
-    );
+    )
+    .unwrap();
     // DC2 must have exported its share of the input over the WAN.
     assert!(
         migrating.egress_gb[2] >= 0.9,
