@@ -1,0 +1,200 @@
+//! Emits `BENCH_sharded.json`: the tracked perf + behaviour baseline for
+//! the sharded multi-sim fleet.
+//!
+//! One region-tagged mixed trace is served four ways — by the
+//! single-engine [`FleetEngine`] and by [`ShardedFleetEngine`]s of 1, 2,
+//! 4 (and, in full mode, 8) shards coupled through a continental
+//! backbone — while the runner verifies the sharding guarantees:
+//!
+//! * **determinism** — every sharded arm must be bit-identical across
+//!   repeated runs *and* across rayon thread counts (1 vs 4);
+//! * **parity** — the 1-shard arm must reproduce the single-engine
+//!   fleet's outcomes bit for bit;
+//! * **scale-out** (full mode) — 4 shards must serve the 8-DC 60-query
+//!   trace at least 2x faster in wall-clock terms than the single
+//!   engine, the decomposition win the sharded fleet exists for
+//!   (smaller per-shard fairness solves × rayon parallelism).
+//!
+//! Usage: `bench_sharded [--smoke] [--out PATH] [--digest PATH]`
+//!   --smoke    small fleet (CI); skips writing JSON unless --out is given
+//!              and skips the machine-dependent speedup floor.
+//!   --out      JSON output path (default `BENCH_sharded.json`, full mode).
+//!   --digest   also write one line per outcome with bit-exact simulated
+//!              results (no wall times) — the CI determinism matrix diffs
+//!              this file across RAYON_NUM_THREADS values.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use wanify_gda::{
+    Arrivals, FleetConfig, FleetEngine, FleetReport, JobProfile, RoundRobinShards,
+    ShardedFleetEngine, ShardedFleetReport, Tetrium,
+};
+use wanify_netsim::{paper_testbed_n, Backbone, LinkModelParams, NetSim, VmType};
+use wanify_workloads::{regional_mixed_trace, TraceConfig};
+
+/// Wall-clock speedup 4 shards must deliver over the single engine on
+/// the full 8-DC trace.
+const MIN_SPEEDUP_AT_4_SHARDS: f64 = 2.0;
+
+fn shard_engine(n: usize, max_concurrent: usize) -> FleetEngine {
+    FleetEngine::new(
+        NetSim::new(paper_testbed_n(VmType::t2_medium(), n), LinkModelParams::frozen(), 11),
+        Box::new(Tetrium::new()),
+        Box::new(wanify::StaticIndependent::new()),
+        FleetConfig { max_concurrent, regauge_every_s: 300.0, conns: None },
+    )
+}
+
+fn backbone(n: usize) -> Backbone {
+    Backbone::continental(&paper_testbed_n(VmType::t2_medium(), n), 4000.0, 30.0)
+}
+
+fn sharded_run(
+    trace: &[JobProfile],
+    n: usize,
+    shards: usize,
+    max_concurrent: usize,
+) -> ShardedFleetReport {
+    // Round-robin placement: balanced shard populations, so the sweep
+    // measures decomposition + parallelism rather than placement luck.
+    ShardedFleetEngine::new(
+        (0..shards).map(|_| shard_engine(n, max_concurrent)).collect(),
+        Box::new(RoundRobinShards::new()),
+        Some(backbone(n)),
+    )
+    .run(trace, &Arrivals::Closed { clients: max_concurrent, think_s: 0.0 })
+    .expect("bench trace matches its topology")
+}
+
+/// Bit-exact digest of a fleet report's simulated outcomes — everything
+/// the run produced except wall-clock time.
+fn digest(report: &FleetReport) -> String {
+    let mut out = String::new();
+    for o in &report.outcomes {
+        writeln!(
+            out,
+            "{} latency={:016x} arrived={:016x} admitted={:016x} completed={:016x}",
+            o.report.job,
+            o.report.latency_s.to_bits(),
+            o.arrived_s.to_bits(),
+            o.admitted_s.to_bits(),
+            o.completed_s.to_bits(),
+        )
+        .expect("write to String");
+    }
+    writeln!(out, "duration={:016x} gauges={}", report.duration_s.to_bits(), report.gauges)
+        .expect("write to String");
+    out
+}
+
+fn assert_identical(label: &str, a: &FleetReport, b: &FleetReport) {
+    assert_eq!(digest(a), digest(b), "{label}: runs must be bit-identical");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let path_arg = |flag: &str| match args.iter().position(|a| a == flag) {
+        Some(i) => match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => Some(path.clone()),
+            _ => {
+                eprintln!("error: {flag} requires a path argument");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    let out = path_arg("--out").or_else(|| (!smoke).then(|| "BENCH_sharded.json".to_string()));
+    let digest_path = path_arg("--digest");
+
+    let (n, n_jobs, shard_counts): (usize, usize, &[usize]) =
+        if smoke { (4, 16, &[1, 2, 4]) } else { (8, 60, &[1, 2, 4, 8]) };
+    let max_concurrent = n_jobs;
+    let trace =
+        regional_mixed_trace(&TraceConfig::new(n, n_jobs, 42).scaled(0.5), backbone(n).groups());
+
+    // (a) Single-engine baseline, timed.
+    let start = Instant::now();
+    let single = shard_engine(n, max_concurrent)
+        .run(&trace, &Arrivals::Closed { clients: max_concurrent, think_s: 0.0 })
+        .expect("bench trace matches its topology");
+    let single_wall_s = start.elapsed().as_secs_f64();
+    assert_eq!(single.outcomes.len(), n_jobs, "every query must complete");
+
+    // (b) Sharded arms, timed; each repeated to prove determinism, and
+    // re-run under an explicit 1-thread pool to prove thread-count
+    // invariance (the ambient run uses however many cores rayon sees).
+    let mut arms: Vec<(usize, f64, ShardedFleetReport)> = Vec::new();
+    for &shards in shard_counts {
+        let start = Instant::now();
+        let report = sharded_run(&trace, n, shards, max_concurrent);
+        let wall_s = start.elapsed().as_secs_f64();
+        let again = sharded_run(&trace, n, shards, max_concurrent);
+        assert_identical(&format!("{shards}-shard repeat"), &report.fleet, &again.fleet);
+        let serial = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("pool construction")
+            .install(|| sharded_run(&trace, n, shards, max_concurrent));
+        assert_identical(&format!("{shards}-shard thread-count"), &report.fleet, &serial.fleet);
+        assert_eq!(report.fleet.outcomes.len(), n_jobs, "every query must complete");
+        arms.push((shards, wall_s, report));
+    }
+
+    // (c) 1-shard parity with the single engine.
+    let one_shard = &arms[0].2;
+    assert_identical("1-shard vs single-engine", &one_shard.fleet, &single);
+
+    let mut arm_json = String::new();
+    for (shards, wall_s, report) in &arms {
+        let speedup = single_wall_s / wall_s.max(1e-12);
+        let makespan = report.fleet.makespan();
+        let _ = writeln!(
+            arm_json,
+            "    {{ \"shards\": {shards}, \"wall_s\": {wall_s:.3}, \"speedup\": {speedup:.2}, \
+             \"jobs_per_sim_s\": {:.5}, \"p50_makespan_s\": {:.1}, \"p95_makespan_s\": {:.1}, \
+             \"backbone_syncs\": {} }},",
+            report.fleet.throughput_jobs_per_s(),
+            makespan.p50,
+            makespan.p95,
+            report.backbone_syncs,
+        );
+    }
+    let arm_json = arm_json.trim_end().trim_end_matches(',').to_string();
+
+    let json = format!(
+        "{{\n  \"bench\": \"sharded\",\n  \"mode\": \"{}\",\n  \"workload\": \
+         \"{n}dc_regional_{n_jobs}jobs_closed{max_concurrent}\",\n  \"single_engine\": {{\n    \
+         \"wall_s\": {single_wall_s:.3},\n    \"simulated_duration_s\": {:.1},\n    \
+         \"p50_makespan_s\": {:.1}\n  }},\n  \"sharded\": [\n{arm_json}\n  ]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        single.duration_s,
+        single.makespan().p50,
+    );
+    print!("{json}");
+    if let Some(path) = out {
+        std::fs::write(&path, &json).expect("write benchmark JSON");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = digest_path {
+        let mut all = String::new();
+        for (shards, _, report) in &arms {
+            let _ = writeln!(all, "== {shards} shard(s) ==");
+            all.push_str(&digest(&report.fleet));
+        }
+        std::fs::write(&path, &all).expect("write digest");
+        eprintln!("wrote {path}");
+    }
+
+    if !smoke {
+        let four =
+            arms.iter().find(|(s, _, _)| *s == 4).expect("full mode always runs the 4-shard arm");
+        let speedup = single_wall_s / four.1.max(1e-12);
+        assert!(
+            speedup >= MIN_SPEEDUP_AT_4_SHARDS,
+            "4-shard wall-clock speedup regressed below {MIN_SPEEDUP_AT_4_SHARDS}x: {speedup:.2}x \
+             (single {single_wall_s:.3}s vs sharded {:.3}s)",
+            four.1
+        );
+    }
+}

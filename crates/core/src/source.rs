@@ -40,7 +40,7 @@ use wanify_netsim::{BwMatrix, ConnMatrix, NetSim};
 ///
 /// Implementations are free to measure (`&mut NetSim` allows probing),
 /// predict, or replay; callers treat every provenance identically.
-pub trait BandwidthSource {
+pub trait BandwidthSource: Send {
     /// Short provenance label for reports (e.g. `"predicted"`).
     fn name(&self) -> &str;
 

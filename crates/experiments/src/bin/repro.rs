@@ -5,7 +5,7 @@
 //! ```
 //!
 //! Ids: table1, table2, fig2, table4, fig4, fig5, fig6, fig7, fig8, fig9,
-//! fig10, fig11, sec583, model, fleet.
+//! fig10, fig11, sec583, model, fleet, sharded.
 
 use wanify_experiments as exp;
 use wanify_experiments::Effort;
@@ -34,7 +34,7 @@ fn main() {
     }
     let all = [
         "table1", "table2", "fig2", "table4", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-        "fig10", "fig11", "sec583", "model", "fleet",
+        "fig10", "fig11", "sec583", "model", "fleet", "sharded",
     ];
     let selected: Vec<&str> = if ids.iter().any(|i| i == "all") {
         all.to_vec()
@@ -59,6 +59,7 @@ fn main() {
             "sec583" => exp::sec583::run(effort, seed).render(),
             "model" => exp::model::run(effort, seed).render(),
             "fleet" => exp::fleet::run(effort, seed).render(),
+            "sharded" => exp::sharded::run(effort, seed).render(),
             other => {
                 eprintln!("unknown experiment id: {other}");
                 std::process::exit(2);
@@ -75,7 +76,8 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--quick] [--seed N] <id>|all\n\
-         ids: table1 table2 fig2 table4 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 sec583 model fleet"
+         ids: table1 table2 fig2 table4 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 sec583 model \
+         fleet sharded"
     );
     std::process::exit(2);
 }

@@ -26,6 +26,7 @@
 //! | `fig11`  | prediction accuracy across cluster shapes |
 //! | `sec583` | heterogeneous-VM benefits |
 //! | `fleet`  | beyond the paper: belief provenances under multi-tenant contention |
+//! | `sharded` | beyond the paper: shard-count sweep of the sharded multi-sim fleet |
 //! | `model`  | prediction-model training quality |
 
 pub mod common;
@@ -41,6 +42,7 @@ pub mod fig9;
 pub mod fleet;
 pub mod model;
 pub mod sec583;
+pub mod sharded;
 pub mod table1;
 pub mod table2;
 pub mod table4;

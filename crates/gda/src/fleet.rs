@@ -147,6 +147,11 @@ impl Percentiles {
 }
 
 /// Aggregate outcome of one fleet run.
+///
+/// Built through [`FleetReport::new`], which computes the order
+/// statistics once; [`FleetReport::queue_wait`] and
+/// [`FleetReport::makespan`] return the cached values instead of
+/// re-sorting the outcome vectors on every call.
 #[derive(Debug, Clone)]
 pub struct FleetReport {
     /// Per-job outcomes in completion order.
@@ -160,9 +165,35 @@ pub struct FleetReport {
     pub scheduler: String,
     /// Provenance of the shared bandwidth belief.
     pub belief: String,
+    /// Queue-wait order statistics, computed at construction.
+    queue_wait: Percentiles,
+    /// Makespan order statistics, computed at construction.
+    makespan: Percentiles,
 }
 
 impl FleetReport {
+    /// Assembles a report, computing the order statistics of `outcomes`
+    /// exactly once.
+    pub fn new(
+        outcomes: Vec<JobOutcome>,
+        duration_s: f64,
+        gauges: u64,
+        scheduler: String,
+        belief: String,
+    ) -> Self {
+        let waits: Vec<f64> = outcomes.iter().map(JobOutcome::queue_wait_s).collect();
+        let makespans: Vec<f64> = outcomes.iter().map(JobOutcome::makespan_s).collect();
+        Self {
+            outcomes,
+            duration_s,
+            gauges,
+            scheduler,
+            belief,
+            queue_wait: Percentiles::of(&waits),
+            makespan: Percentiles::of(&makespans),
+        }
+    }
+
     /// Completed queries per simulated second.
     pub fn throughput_jobs_per_s(&self) -> f64 {
         if self.duration_s > 0.0 {
@@ -172,16 +203,15 @@ impl FleetReport {
         }
     }
 
-    /// Queue-wait order statistics.
+    /// Queue-wait order statistics (cached at construction).
     pub fn queue_wait(&self) -> Percentiles {
-        let w: Vec<f64> = self.outcomes.iter().map(JobOutcome::queue_wait_s).collect();
-        Percentiles::of(&w)
+        self.queue_wait
     }
 
-    /// Admission-to-completion makespan order statistics.
+    /// Admission-to-completion makespan order statistics (cached at
+    /// construction).
     pub fn makespan(&self) -> Percentiles {
-        let m: Vec<f64> = self.outcomes.iter().map(JobOutcome::makespan_s).collect();
-        Percentiles::of(&m)
+        self.makespan
     }
 
     /// Total egress gigabytes that crossed the WAN.
@@ -296,41 +326,128 @@ impl FleetEngine {
     /// returns the fleet report. Deterministic: same inputs, bit-identical
     /// output.
     ///
+    /// Equivalent to [`FleetRun::start`] followed by one unbounded
+    /// [`FleetRun::run_until`]; drivers that need to interleave the fleet
+    /// with other work (the sharded fleet's sync windows, a future async
+    /// front-end) use [`FleetRun`] directly.
+    ///
     /// # Errors
     ///
     /// Returns [`WanifyError`] when the shared source fails to gauge the
     /// network, when a job's layout does not match the topology, or when
     /// the configuration cannot make progress (e.g. a Poisson rate that is
     /// not finite and positive).
-    pub fn run(
-        mut self,
-        jobs: &[JobProfile],
-        arrivals: &Arrivals,
-    ) -> Result<FleetReport, WanifyError> {
-        let mut timers: BinaryHeap<Timer> = BinaryHeap::new();
-        let mut seq: u64 = 0;
-        let push = |timers: &mut BinaryHeap<Timer>, seq: &mut u64, at_s: f64, kind: TimerKind| {
-            timers.push(Timer { at_s, seq: *seq, kind });
-            *seq += 1;
-        };
+    pub fn run(self, jobs: &[JobProfile], arrivals: &Arrivals) -> Result<FleetReport, WanifyError> {
+        let mut run = FleetRun::start(self, jobs.to_vec(), arrivals)?;
+        run.run_until(f64::INFINITY)?;
+        Ok(run.into_report())
+    }
+}
 
-        // Closed-loop bookkeeping: the index of the next unsubmitted job.
-        let mut next_closed_job = 0usize;
-        let mut closed_think_s = 0.0;
+/// Samples the absolute arrival time of each of `jobs` jobs from a
+/// seeded Poisson stream — the one arrival-time source shared by
+/// [`FleetRun::start`] and the sharded fleet's thinning path, so both
+/// draw bit-identical schedules from identical inputs.
+///
+/// # Errors
+///
+/// Returns [`WanifyError::InvalidConfig`] for a rate that is not finite
+/// and positive.
+pub(crate) fn poisson_arrival_times(
+    jobs: usize,
+    rate_per_s: f64,
+    seed: u64,
+) -> Result<Vec<f64>, WanifyError> {
+    if !(rate_per_s.is_finite() && rate_per_s > 0.0) {
+        return Err(WanifyError::InvalidConfig(format!(
+            "Poisson arrival rate must be finite and positive, got {rate_per_s}"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    let mut times = Vec::with_capacity(jobs);
+    for _ in 0..jobs {
+        // Exponential interarrivals: -ln(1-U)/λ, U ∈ [0, 1).
+        let u: f64 = rng.gen();
+        t += -(1.0 - u).ln() / rate_per_s;
+        times.push(t);
+    }
+    Ok(times)
+}
+
+/// A fleet mid-flight: the resumable core behind [`FleetEngine::run`].
+///
+/// [`FleetRun::start`] seeds the arrival timers; [`FleetRun::run_until`]
+/// then advances the event loop — timer firing, admission, engine
+/// completion events — up to an absolute simulated deadline, and can be
+/// called again to continue. This windowed drive is the seam both the
+/// sharded fleet (which pauses every shard at backbone sync points) and a
+/// future async front-end (which would pause at submission-channel polls)
+/// plug into. A single `run_until(f64::INFINITY)` reproduces the
+/// uninterrupted [`FleetEngine::run`] timeline bit for bit.
+pub struct FleetRun {
+    fleet: FleetEngine,
+    jobs: Vec<JobProfile>,
+    timers: BinaryHeap<Timer>,
+    seq: u64,
+    pending: VecDeque<(usize, f64)>,
+    slots: Vec<Option<ActiveRun>>,
+    group_owner: HashMap<GroupId, usize>,
+    running: usize,
+    outcomes: Vec<JobOutcome>,
+    first_arrival_s: f64,
+    /// Closed-loop bookkeeping: the index of the next unsubmitted job.
+    next_closed_job: usize,
+    closed_think_s: f64,
+    closed_clients: usize,
+    closed_loop: bool,
+}
+
+impl std::fmt::Debug for FleetRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetRun")
+            .field("fleet", &self.fleet)
+            .field("jobs", &self.jobs.len())
+            .field("completed", &self.outcomes.len())
+            .field("running", &self.running)
+            .finish()
+    }
+}
+
+impl FleetRun {
+    /// Seeds the run: validates `arrivals` and schedules the arrival
+    /// timers for `jobs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WanifyError::InvalidConfig`] for a non-positive Poisson
+    /// rate or a zero-client closed loop.
+    pub fn start(
+        fleet: FleetEngine,
+        jobs: Vec<JobProfile>,
+        arrivals: &Arrivals,
+    ) -> Result<Self, WanifyError> {
+        let mut run = Self {
+            fleet,
+            timers: BinaryHeap::new(),
+            seq: 0,
+            pending: VecDeque::new(),
+            slots: Vec::new(),
+            group_owner: HashMap::new(),
+            running: 0,
+            outcomes: Vec::with_capacity(jobs.len()),
+            first_arrival_s: f64::INFINITY,
+            next_closed_job: 0,
+            closed_think_s: 0.0,
+            closed_clients: 0,
+            closed_loop: matches!(arrivals, Arrivals::Closed { .. }),
+            jobs,
+        };
         match arrivals {
             Arrivals::Poisson { rate_per_s, seed } => {
-                if !(rate_per_s.is_finite() && *rate_per_s > 0.0) {
-                    return Err(WanifyError::InvalidConfig(format!(
-                        "Poisson arrival rate must be finite and positive, got {rate_per_s}"
-                    )));
-                }
-                let mut rng = StdRng::seed_from_u64(*seed);
-                let mut t = 0.0;
-                for idx in 0..jobs.len() {
-                    // Exponential interarrivals: -ln(1-U)/λ, U ∈ [0, 1).
-                    let u: f64 = rng.gen();
-                    t += -(1.0 - u).ln() / rate_per_s;
-                    push(&mut timers, &mut seq, t, TimerKind::Arrival(idx));
+                let times = poisson_arrival_times(run.jobs.len(), *rate_per_s, *seed)?;
+                for (idx, t) in times.into_iter().enumerate() {
+                    run.push_timer(t, TimerKind::Arrival(idx));
                 }
             }
             Arrivals::Closed { clients, think_s } => {
@@ -339,119 +456,159 @@ impl FleetEngine {
                         "closed-loop arrivals need at least one client".into(),
                     ));
                 }
-                closed_think_s = think_s.max(0.0);
-                next_closed_job = (*clients).min(jobs.len());
-                for idx in 0..next_closed_job {
-                    push(&mut timers, &mut seq, 0.0, TimerKind::Arrival(idx));
+                run.closed_think_s = think_s.max(0.0);
+                run.next_closed_job = (*clients).min(run.jobs.len());
+                run.closed_clients = run.next_closed_job;
+                for idx in 0..run.next_closed_job {
+                    run.push_timer(0.0, TimerKind::Arrival(idx));
                 }
             }
         }
-        let closed_loop = matches!(arrivals, Arrivals::Closed { .. });
-        let closed_clients = next_closed_job;
+        Ok(run)
+    }
 
-        let mut pending: VecDeque<(usize, f64)> = VecDeque::new();
-        let mut slots: Vec<Option<ActiveRun>> = Vec::new();
-        let mut group_owner: HashMap<GroupId, usize> = HashMap::new();
-        let mut running = 0usize;
-        let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(jobs.len());
-        let mut first_arrival_s = f64::INFINITY;
+    /// Seeds an open-loop run with explicit absolute arrival times,
+    /// `arrival_times[i]` being job `i`'s arrival. The sharded fleet uses
+    /// this to *thin* one global Poisson stream across shards: arrival
+    /// times are sampled once for the whole trace and travel with the
+    /// jobs, so the fleet-wide arrival process is independent of the
+    /// shard count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WanifyError::InvalidConfig`] when the schedule length
+    /// does not match the job count.
+    pub(crate) fn start_at(
+        fleet: FleetEngine,
+        jobs: Vec<JobProfile>,
+        arrival_times: Vec<f64>,
+    ) -> Result<Self, WanifyError> {
+        if arrival_times.len() != jobs.len() {
+            return Err(WanifyError::InvalidConfig(format!(
+                "arrival schedule covers {} jobs but the trace has {}",
+                arrival_times.len(),
+                jobs.len()
+            )));
+        }
+        let mut run = Self {
+            fleet,
+            timers: BinaryHeap::new(),
+            seq: 0,
+            pending: VecDeque::new(),
+            slots: Vec::new(),
+            group_owner: HashMap::new(),
+            running: 0,
+            outcomes: Vec::with_capacity(jobs.len()),
+            first_arrival_s: f64::INFINITY,
+            next_closed_job: 0,
+            closed_think_s: 0.0,
+            closed_clients: 0,
+            closed_loop: false,
+            jobs,
+        };
+        for (idx, t) in arrival_times.into_iter().enumerate() {
+            run.push_timer(t, TimerKind::Arrival(idx));
+        }
+        Ok(run)
+    }
 
-        while outcomes.len() < jobs.len() {
-            let now = self.engine.sim().time_s();
+    /// Whether every job has completed.
+    pub fn finished(&self) -> bool {
+        self.outcomes.len() == self.jobs.len()
+    }
+
+    /// Current simulated time of this fleet's WAN.
+    pub fn time_s(&self) -> f64 {
+        self.fleet.engine.sim().time_s()
+    }
+
+    /// Advances the event loop until every job completes or simulated
+    /// time reaches `deadline_s`, whichever comes first. Timers due
+    /// exactly at the deadline still fire; in-flight transfers are served
+    /// up to — including fractionally into — the deadline, exactly as a
+    /// foreign tenant's timer would pause them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WanifyError`] on gauge/layout failures and when the fleet
+    /// can no longer make progress (no pending timers and only rate-zero
+    /// flows in flight), independent of the deadline.
+    pub fn run_until(&mut self, deadline_s: f64) -> Result<(), WanifyError> {
+        while self.outcomes.len() < self.jobs.len() {
+            let now = self.fleet.engine.sim().time_s();
 
             // Closed loop: every completion frees a client, who thinks for
             // `think_s` and submits the next job. Checked at the loop top
             // so completions from any path (timer or engine event) pace
             // the next submission.
-            if closed_loop {
-                while next_closed_job < jobs.len()
-                    && next_closed_job < closed_clients + outcomes.len()
+            if self.closed_loop {
+                while self.next_closed_job < self.jobs.len()
+                    && self.next_closed_job < self.closed_clients + self.outcomes.len()
                 {
-                    push(
-                        &mut timers,
-                        &mut seq,
-                        now + closed_think_s,
-                        TimerKind::Arrival(next_closed_job),
-                    );
-                    next_closed_job += 1;
+                    let idx = self.next_closed_job;
+                    self.push_timer(now + self.closed_think_s, TimerKind::Arrival(idx));
+                    self.next_closed_job += 1;
                 }
             }
 
             // Fire every timer that is due (ties in insertion order).
             let mut fired = false;
-            while timers.peek().is_some_and(|t| t.at_s <= now + 1e-9) {
+            while self.timers.peek().is_some_and(|t| t.at_s <= now + 1e-9) {
                 fired = true;
-                let timer = timers.pop().expect("peeked");
+                let timer = self.timers.pop().expect("peeked");
                 match timer.kind {
                     TimerKind::Arrival(idx) => {
-                        first_arrival_s = first_arrival_s.min(now);
-                        pending.push_back((idx, now));
+                        self.first_arrival_s = self.first_arrival_s.min(now);
+                        self.pending.push_back((idx, now));
                     }
                     TimerKind::ComputeDone(slot) => {
-                        let step = {
-                            let active =
-                                slots[slot].as_mut().expect("compute timer for a live run");
-                            active.run.on_compute_done(
-                                self.scheduler.as_ref(),
-                                self.engine.sim().topology(),
-                            )
-                        };
-                        self.dispatch(
-                            slot,
-                            step,
-                            &mut timers,
-                            &mut seq,
-                            &mut slots,
-                            &mut group_owner,
-                            &mut running,
-                            &mut outcomes,
-                        );
+                        let step = self.slots[slot]
+                            .as_mut()
+                            .expect("compute timer for a live run")
+                            .run
+                            .on_compute_done(
+                                self.fleet.scheduler.as_ref(),
+                                self.fleet.engine.sim().topology(),
+                            );
+                        self.dispatch(slot, step);
                     }
                 }
             }
 
             // Admit from the queue while the limit allows.
-            while running < self.config.max_concurrent && !pending.is_empty() {
-                let (idx, arrived_s) = pending.pop_front().expect("non-empty");
-                let slot = self.admit(&jobs[idx], arrived_s, &mut slots)?;
-                let step = {
-                    let active = slots[slot].as_mut().expect("just admitted");
-                    active.run.start(self.scheduler.as_ref(), self.engine.sim().topology())
-                };
-                running += 1;
-                self.dispatch(
-                    slot,
-                    step,
-                    &mut timers,
-                    &mut seq,
-                    &mut slots,
-                    &mut group_owner,
-                    &mut running,
-                    &mut outcomes,
-                );
+            while self.running < self.fleet.config.max_concurrent && !self.pending.is_empty() {
+                let (idx, arrived_s) = self.pending.pop_front().expect("non-empty");
+                let job = self.jobs[idx].clone();
+                let slot = self.admit(job, arrived_s)?;
+                let step = self.slots[slot]
+                    .as_mut()
+                    .expect("just admitted")
+                    .run
+                    .start(self.fleet.scheduler.as_ref(), self.fleet.engine.sim().topology());
+                self.running += 1;
+                self.dispatch(slot, step);
             }
             if fired {
                 // Firing may have queued work that changes what "next
                 // timer" means; re-evaluate before advancing time.
                 continue;
             }
-            if outcomes.len() == jobs.len() {
+            if self.outcomes.len() == self.jobs.len() {
                 break;
             }
-
-            let next_timer_s = timers.peek().map_or(f64::INFINITY, |t| t.at_s);
-            if self.engine.is_idle() && next_timer_s.is_infinite() {
-                return Err(WanifyError::InvalidConfig(format!(
-                    "fleet stalled with {} of {} jobs unfinished",
-                    jobs.len() - outcomes.len(),
-                    jobs.len()
-                )));
+            if now >= deadline_s {
+                return Ok(());
             }
-            let events = self.engine.advance_until(next_timer_s);
+
+            let next_timer_s = self.timers.peek().map_or(f64::INFINITY, |t| t.at_s);
+            if self.fleet.engine.is_idle() && next_timer_s.is_infinite() {
+                return Err(self.stall_error("fleet stalled"));
+            }
+            let events = self.fleet.engine.advance_until(next_timer_s.min(deadline_s));
             if events.is_empty()
                 && next_timer_s.is_infinite()
-                && !self.engine.is_idle()
-                && !self.engine.has_live_flows()
+                && !self.fleet.engine.is_idle()
+                && !self.fleet.engine.has_live_flows()
             {
                 // No timer to wake us, groups in flight, and every
                 // remaining flow is rate-zero (e.g. a 0-Mbps throttle on
@@ -460,118 +617,125 @@ impl FleetEngine {
                 // (An empty result with *live* flows just means the
                 // engine's per-call epoch budget ran out on a slow
                 // transfer; the next iteration keeps advancing it.)
-                return Err(WanifyError::InvalidConfig(format!(
-                    "fleet stalled: in-flight transfers cannot make progress \
-                     ({} of {} jobs unfinished)",
-                    jobs.len() - outcomes.len(),
-                    jobs.len()
-                )));
-            }
-            for event in events {
-                let slot = group_owner.remove(&event.group).expect("every group has an owner");
-                let step = {
-                    let active = slots[slot].as_mut().expect("group completion for a live run");
-                    active.run.on_shuffle_done(&event, self.engine.sim().topology())
-                };
-                self.dispatch(
-                    slot,
-                    step,
-                    &mut timers,
-                    &mut seq,
-                    &mut slots,
-                    &mut group_owner,
-                    &mut running,
-                    &mut outcomes,
+                return Err(
+                    self.stall_error("fleet stalled: in-flight transfers cannot make progress")
                 );
             }
+            for event in events {
+                let slot = self.group_owner.remove(&event.group).expect("every group has an owner");
+                let step = self.slots[slot]
+                    .as_mut()
+                    .expect("group completion for a live run")
+                    .run
+                    .on_shuffle_done(&event, self.fleet.engine.sim().topology());
+                self.dispatch(slot, step);
+            }
         }
+        Ok(())
+    }
 
-        let duration_s = if first_arrival_s.is_finite() {
-            self.engine.sim().time_s() - first_arrival_s
+    /// Finalizes the run into its report.
+    pub fn into_report(self) -> FleetReport {
+        let duration_s = if self.first_arrival_s.is_finite() {
+            self.fleet.engine.sim().time_s() - self.first_arrival_s
         } else {
             0.0
         };
-        Ok(FleetReport {
-            outcomes,
+        FleetReport::new(
+            self.outcomes,
             duration_s,
-            gauges: self.gauges,
-            scheduler: self.scheduler.name().to_string(),
-            belief: self.source.name().to_string(),
-        })
+            self.fleet.gauges,
+            self.fleet.scheduler.name().to_string(),
+            self.fleet.source.name().to_string(),
+        )
+    }
+
+    /// This shard's current demand on every directed cross-group trunk
+    /// (see [`NetEngine::cross_group_demand_mbps`]).
+    pub(crate) fn cross_shard_demand(
+        &self,
+        group_of: &[usize],
+        n_groups: usize,
+    ) -> wanify_netsim::Grid<f64> {
+        self.fleet.engine.cross_group_demand_mbps(group_of, n_groups)
+    }
+
+    /// Applies this shard's granted backbone share as per-pair caps (see
+    /// [`NetEngine::apply_backbone_allocation`]).
+    pub(crate) fn apply_backbone_share(
+        &mut self,
+        group_of: &[usize],
+        share_mbps: &wanify_netsim::Grid<f64>,
+        demand_mbps: &wanify_netsim::Grid<f64>,
+    ) {
+        self.fleet.engine.apply_backbone_allocation(group_of, share_mbps, demand_mbps);
+    }
+
+    fn push_timer(&mut self, at_s: f64, kind: TimerKind) {
+        self.timers.push(Timer { at_s, seq: self.seq, kind });
+        self.seq += 1;
+    }
+
+    fn stall_error(&self, what: &str) -> WanifyError {
+        WanifyError::InvalidConfig(format!(
+            "{what} ({} of {} jobs unfinished)",
+            self.jobs.len() - self.outcomes.len(),
+            self.jobs.len()
+        ))
     }
 
     /// Admits one job: refreshes the shared belief if stale and builds its
     /// state machine in a free slot.
-    fn admit(
-        &mut self,
-        job: &JobProfile,
-        arrived_s: f64,
-        slots: &mut Vec<Option<ActiveRun>>,
-    ) -> Result<usize, WanifyError> {
-        let now = self.engine.sim().time_s();
-        let stale = match &self.belief {
+    fn admit(&mut self, job: JobProfile, arrived_s: f64) -> Result<usize, WanifyError> {
+        let fleet = &mut self.fleet;
+        let now = fleet.engine.sim().time_s();
+        let stale = match &fleet.belief {
             None => true,
-            Some((_, gauged_at)) => now - gauged_at >= self.config.regauge_every_s,
+            Some((_, gauged_at)) => now - gauged_at >= fleet.config.regauge_every_s,
         };
         if stale {
             // Gauging probes the live network and costs simulated time —
             // the monitoring cost the shared cache amortizes over tenants.
-            let bw = self.source.gauge(self.engine.sim_mut())?;
-            let gauged_at = self.engine.sim().time_s();
-            self.belief = Some((bw, gauged_at));
-            self.gauges += 1;
+            let bw = fleet.source.gauge(fleet.engine.sim_mut())?;
+            let gauged_at = fleet.engine.sim().time_s();
+            fleet.belief = Some((bw, gauged_at));
+            fleet.gauges += 1;
         }
-        let (bw, _) = self.belief.as_ref().expect("belief gauged above");
+        let (bw, _) = fleet.belief.as_ref().expect("belief gauged above");
         let run = JobRun::new(
-            job.clone(),
+            job,
             bw.clone(),
-            self.source.name(),
-            self.scheduler.as_ref(),
-            self.engine.sim().topology(),
-            self.config.conns.clone(),
+            fleet.source.name(),
+            fleet.scheduler.as_ref(),
+            fleet.engine.sim().topology(),
+            fleet.config.conns.clone(),
         )?;
-        let admitted_s = self.engine.sim().time_s();
+        let admitted_s = fleet.engine.sim().time_s();
         let active = ActiveRun { run, arrived_s, admitted_s };
-        let slot = slots.iter().position(Option::is_none).unwrap_or_else(|| {
-            slots.push(None);
-            slots.len() - 1
+        let slot = self.slots.iter().position(Option::is_none).unwrap_or_else(|| {
+            self.slots.push(None);
+            self.slots.len() - 1
         });
-        slots[slot] = Some(active);
+        self.slots[slot] = Some(active);
         Ok(slot)
     }
 
     /// Executes one [`JobStep`]: schedules a timer, submits a flow group,
     /// or finalizes the run.
-    #[allow(clippy::too_many_arguments)]
-    fn dispatch(
-        &mut self,
-        slot: usize,
-        step: JobStep,
-        timers: &mut BinaryHeap<Timer>,
-        seq: &mut u64,
-        slots: &mut [Option<ActiveRun>],
-        group_owner: &mut HashMap<GroupId, usize>,
-        running: &mut usize,
-        outcomes: &mut Vec<JobOutcome>,
-    ) {
-        let now = self.engine.sim().time_s();
+    fn dispatch(&mut self, slot: usize, step: JobStep) {
+        let now = self.fleet.engine.sim().time_s();
         match step {
             JobStep::Compute { seconds } => {
-                timers.push(Timer {
-                    at_s: now + seconds,
-                    seq: *seq,
-                    kind: TimerKind::ComputeDone(slot),
-                });
-                *seq += 1;
+                self.push_timer(now + seconds, TimerKind::ComputeDone(slot));
             }
             JobStep::Shuffle { transfers, conns, migration: _ } => {
-                let id = self.engine.submit(&transfers, &conns);
-                group_owner.insert(id, slot);
+                let id = self.fleet.engine.submit(&transfers, &conns);
+                self.group_owner.insert(id, slot);
             }
             JobStep::Done(report) => {
-                let active = slots[slot].take().expect("finalizing a live run");
-                *running -= 1;
-                outcomes.push(JobOutcome {
+                let active = self.slots[slot].take().expect("finalizing a live run");
+                self.running -= 1;
+                self.outcomes.push(JobOutcome {
                     report: *report,
                     arrived_s: active.arrived_s,
                     admitted_s: active.admitted_s,
@@ -773,7 +937,57 @@ mod tests {
         assert_eq!(p.p95, 4.0);
         assert_eq!(p.max, 4.0);
         assert!((p.mean - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_of_empty_input_are_all_zero() {
         let empty = Percentiles::of(&[]);
+        assert_eq!(empty.p50, 0.0);
+        assert_eq!(empty.p95, 0.0);
         assert_eq!(empty.p99, 0.0);
+        assert_eq!(empty.mean, 0.0);
+        assert_eq!(empty.max, 0.0);
+    }
+
+    #[test]
+    fn percentiles_of_a_single_element_are_that_element() {
+        let one = Percentiles::of(&[7.25]);
+        assert_eq!(one.p50, 7.25);
+        assert_eq!(one.p95, 7.25);
+        assert_eq!(one.p99, 7.25);
+        assert_eq!(one.mean, 7.25);
+        assert_eq!(one.max, 7.25);
+    }
+
+    #[test]
+    fn percentiles_of_tied_values_are_that_value() {
+        let tied = Percentiles::of(&[3.5; 9]);
+        assert_eq!(tied.p50, 3.5);
+        assert_eq!(tied.p95, 3.5);
+        assert_eq!(tied.p99, 3.5);
+        assert_eq!(tied.mean, 3.5);
+        assert_eq!(tied.max, 3.5);
+        // Partial ties: the nearest-rank statistics stay on real sample
+        // values, never interpolated between them.
+        let partial = Percentiles::of(&[1.0, 2.0, 2.0, 2.0, 9.0]);
+        assert_eq!(partial.p50, 2.0);
+        assert_eq!(partial.p95, 9.0);
+        assert_eq!(partial.max, 9.0);
+    }
+
+    #[test]
+    fn fleet_report_caches_percentiles_at_construction() {
+        let jobs: Vec<JobProfile> = (0..4).map(|i| small_job(3, 1.0, &format!("s{i}"))).collect();
+        let report = fleet(3, 1, FleetConfig::default())
+            .run(&jobs, &Arrivals::Closed { clients: 2, think_s: 0.0 })
+            .unwrap();
+        // Cached statistics agree with a fresh computation over the
+        // outcome vectors…
+        let waits: Vec<f64> = report.outcomes.iter().map(JobOutcome::queue_wait_s).collect();
+        let makespans: Vec<f64> = report.outcomes.iter().map(JobOutcome::makespan_s).collect();
+        assert_eq!(report.queue_wait(), Percentiles::of(&waits));
+        assert_eq!(report.makespan(), Percentiles::of(&makespans));
+        // …and repeated calls return the identical cached value.
+        assert_eq!(report.makespan(), report.makespan());
     }
 }

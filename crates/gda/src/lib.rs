@@ -23,25 +23,37 @@
 //! Costs follow the paper's accounting (§5.1): compute (with the unlimited
 //! burst vCPU surcharge), inter-region network egress, and storage.
 //!
-//! Two execution paths share the same per-query semantics:
+//! Three execution paths share the same per-query semantics:
 //!
 //! * [`executor::run_job`] — the legacy blocking path: one query owns the
 //!   simulator until it completes;
 //! * [`fleet::FleetEngine`] — the multi-tenant path: many concurrent
 //!   queries, each a resumable [`executor::JobRun`] state machine, contend
 //!   on one shared WAN through [`wanify_netsim::NetEngine`]. A fleet of
-//!   one reproduces `run_job`'s report bit for bit.
+//!   one reproduces `run_job`'s report bit for bit;
+//! * [`sharded::ShardedFleetEngine`] — the scale-out path: tenants
+//!   partitioned across shard-local engines by a [`sharded::ShardPolicy`],
+//!   coupled through a [`wanify_netsim::Backbone`] epoch exchange, run on
+//!   rayon with a deterministic merge. One shard reproduces `FleetEngine`
+//!   bit for bit; results are identical at any thread count.
 
 pub mod cost;
 pub mod executor;
 pub mod fleet;
 pub mod job;
 pub mod scheduler;
+pub mod sharded;
 pub mod storage;
 
 pub use cost::{CostBreakdown, CostModel};
 pub use executor::{run_job, JobRun, JobStep, QueryReport, TransferOptions};
-pub use fleet::{Arrivals, FleetConfig, FleetEngine, FleetReport, JobOutcome, Percentiles};
+pub use fleet::{
+    Arrivals, FleetConfig, FleetEngine, FleetReport, FleetRun, JobOutcome, Percentiles,
+};
 pub use job::{JobProfile, StageProfile};
 pub use scheduler::{Kimchi, PlacementCtx, Scheduler, Tetrium, VanillaSpark};
+pub use sharded::{
+    RegionGroupShards, RoundRobinShards, ShardPolicy, ShardedFleetEngine, ShardedFleetReport,
+    TenantClassShards,
+};
 pub use storage::DataLayout;

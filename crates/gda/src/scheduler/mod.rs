@@ -66,7 +66,10 @@ impl PlacementCtx<'_> {
 }
 
 /// A reduce-task and data placement policy.
-pub trait Scheduler {
+///
+/// `Send` so boxed schedulers can serve fleet shards running on worker
+/// threads (see `wanify_gda::sharded`).
+pub trait Scheduler: Send {
     /// Human-readable scheduler name for reports.
     fn name(&self) -> &str;
 

@@ -1,0 +1,491 @@
+//! Sharded multi-sim fleet: tenants partitioned across shard-local
+//! engines, coupled by a cross-shard backbone, run on rayon.
+//!
+//! [`FleetEngine`](crate::FleetEngine) serializes every tenant through
+//! one [`NetEngine`](wanify_netsim::NetEngine): fleet scale is capped by
+//! a single event loop on a single core, and every fairness solve sees
+//! *all* tenants' flows at once. [`ShardedFleetEngine`] breaks that wall
+//! with the decomposition distributed node runtimes use:
+//!
+//! * a pluggable [`ShardPolicy`] assigns each tenant to one of N
+//!   **shards** — by the region group its data lives in
+//!   ([`RegionGroupShards`]), by tenant class ([`TenantClassShards`]), or
+//!   round-robin ([`RoundRobinShards`]);
+//! * every shard is a full [`FleetEngine`] (own simulator, scheduler,
+//!   belief cache) driven as a resumable [`FleetRun`], so per-shard
+//!   event loops and fairness solves only carry that shard's tenants;
+//! * shards are coupled through a [`Backbone`]: at every sync point the
+//!   driver collects per-shard cross-group demand, divides each trunk by
+//!   max-min fairness, and applies each shard's grant as per-pair caps —
+//!   between sync points the shards simulate **independently**, each
+//!   event-coalescing as usual;
+//! * windows run on rayon (`into_par_iter`), and per-shard completion
+//!   events merge deterministically into one [`FleetReport`].
+//!
+//! Determinism is the headline property: results are **bit-identical at
+//! any `RAYON_NUM_THREADS`** (shards share no mutable state inside a
+//! window, and the merge orders by completion time with shard index as
+//! the tiebreak), and a 1-shard sharded fleet — where no cross-shard
+//! exchange exists, so no sync deadlines are imposed — reproduces
+//! [`FleetEngine::run`](crate::FleetEngine::run) bit for bit (pinned by
+//! the `sharded_parity` proptest).
+
+use crate::fleet::{self, Arrivals, FleetEngine, FleetReport, FleetRun, JobOutcome};
+use crate::job::JobProfile;
+use rayon::prelude::*;
+use wanify::WanifyError;
+use wanify_netsim::{Backbone, Grid, Topology};
+
+/// Assigns every job of a trace to a shard.
+///
+/// `Send` so policies can be consulted from the sharded driver; the
+/// driver reduces whatever the policy returns modulo the shard count.
+pub trait ShardPolicy: Send {
+    /// Policy name for reports.
+    fn name(&self) -> &str;
+
+    /// Shard for job `idx` of the trace (reduced modulo `n_shards` by the
+    /// driver).
+    fn shard_of(&self, idx: usize, job: &JobProfile, topo: &Topology, n_shards: usize) -> usize;
+}
+
+/// Shards tenants by the region group holding the plurality of their
+/// input data: queries live near their data, so most of a shard's
+/// traffic stays inside its group and only the remainder crosses the
+/// backbone.
+#[derive(Debug, Clone)]
+pub struct RegionGroupShards {
+    /// Region group per DC, indexed by `DcId` (e.g.
+    /// [`Backbone::groups`]).
+    group_of: Vec<usize>,
+}
+
+impl RegionGroupShards {
+    /// Builds the policy from a DC → group map.
+    pub fn new(group_of: Vec<usize>) -> Self {
+        Self { group_of }
+    }
+
+    /// Builds the policy from the backbone's own grouping.
+    pub fn from_backbone(backbone: &Backbone) -> Self {
+        Self::new(backbone.groups().to_vec())
+    }
+}
+
+impl ShardPolicy for RegionGroupShards {
+    fn name(&self) -> &str {
+        "region-group"
+    }
+
+    fn shard_of(&self, _idx: usize, job: &JobProfile, _topo: &Topology, n_shards: usize) -> usize {
+        // Plurality by *group*, not by single DC: a home group whose data
+        // is spread over several DCs must still beat one concentrated
+        // foreign DC. Ties break to the lowest group id.
+        let n_groups = self.group_of.iter().copied().max().map_or(1, |g| g + 1);
+        let mut gb_per_group = vec![0.0f64; n_groups];
+        for dc in 0..job.layout.len() {
+            if let Some(&g) = self.group_of.get(dc) {
+                gb_per_group[g] += job.layout.gb_at(dc);
+            }
+        }
+        let mut best_group = 0usize;
+        let mut best_gb = f64::NEG_INFINITY;
+        for (g, &gb) in gb_per_group.iter().enumerate() {
+            if gb > best_gb {
+                best_gb = gb;
+                best_group = g;
+            }
+        }
+        best_group % n_shards
+    }
+}
+
+/// Shards tenants by workload family (the job-name prefix before the
+/// trace index), so e.g. all TeraSorts contend with each other but never
+/// with the TPC-DS tenants' event loop.
+#[derive(Debug, Clone, Default)]
+pub struct TenantClassShards;
+
+impl TenantClassShards {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl ShardPolicy for TenantClassShards {
+    fn name(&self) -> &str {
+        "tenant-class"
+    }
+
+    fn shard_of(&self, _idx: usize, job: &JobProfile, _topo: &Topology, n_shards: usize) -> usize {
+        // Family = name up to the trailing "-<index>" tag; FNV-1a keeps
+        // the mapping stable across runs and platforms.
+        let family = job.name.rsplit_once('-').map_or(job.name.as_str(), |(f, _)| f);
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in family.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (hash % n_shards as u64) as usize
+    }
+}
+
+/// Shards tenants round-robin by trace index: balanced shard populations
+/// regardless of workload mix, the default for wall-clock scale-out
+/// sweeps.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobinShards;
+
+impl RoundRobinShards {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl ShardPolicy for RoundRobinShards {
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+
+    fn shard_of(&self, idx: usize, _job: &JobProfile, _topo: &Topology, n_shards: usize) -> usize {
+        idx % n_shards
+    }
+}
+
+/// Outcome of one sharded fleet run.
+#[derive(Debug, Clone)]
+pub struct ShardedFleetReport {
+    /// The merged fleet-level report: all shards' outcomes ordered by
+    /// completion time (shard index breaks ties), gauges summed, duration
+    /// spanning first arrival to last completion across the whole fleet.
+    pub fleet: FleetReport,
+    /// Each shard's own report, in shard order.
+    pub per_shard: Vec<FleetReport>,
+    /// Shard policy that partitioned the trace.
+    pub policy: String,
+    /// Backbone epoch exchanges performed (0 when uncoupled).
+    pub backbone_syncs: u64,
+}
+
+impl ShardedFleetReport {
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.per_shard.len()
+    }
+
+    /// Jobs served per shard, in shard order.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.per_shard.iter().map(|r| r.outcomes.len()).collect()
+    }
+}
+
+/// The sharded multi-tenant serving engine. See the module docs.
+pub struct ShardedFleetEngine {
+    shards: Vec<FleetEngine>,
+    policy: Box<dyn ShardPolicy>,
+    backbone: Option<Backbone>,
+}
+
+impl std::fmt::Debug for ShardedFleetEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedFleetEngine")
+            .field("shards", &self.shards.len())
+            .field("policy", &self.policy.name())
+            .field("backbone", &self.backbone.is_some())
+            .finish()
+    }
+}
+
+impl ShardedFleetEngine {
+    /// Builds a sharded fleet from per-shard engines, a placement policy
+    /// and an optional backbone. Each engine must simulate the same
+    /// topology (each shard sees the whole WAN; only its own tenants'
+    /// flows run on it). With `backbone: None` — or a single shard, which
+    /// owns every trunk outright — the shards run fully uncoupled and no
+    /// sync deadlines are imposed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty.
+    pub fn new(
+        shards: Vec<FleetEngine>,
+        policy: Box<dyn ShardPolicy>,
+        backbone: Option<Backbone>,
+    ) -> Self {
+        assert!(!shards.is_empty(), "a sharded fleet needs at least one shard");
+        Self { shards, policy, backbone }
+    }
+
+    /// Serves `jobs` across the shards and returns the merged report.
+    ///
+    /// The trace is partitioned by the shard policy (preserving trace
+    /// order within each shard), and the fleet-wide load is preserved at
+    /// every shard count: a Poisson stream is sampled **once** for the
+    /// whole trace — exactly as [`FleetEngine::run`] samples it — and its
+    /// arrival times travel with the jobs to their shards (thinning, so
+    /// the aggregate arrival process never scales with the shard count),
+    /// while a closed-loop client population is split across shards
+    /// (remainder to the lowest indices, at least one client per
+    /// non-empty shard). A 1-shard fleet therefore reproduces
+    /// [`FleetEngine::run`] exactly. Shards advance in backbone sync
+    /// windows on rayon; the result is bit-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WanifyError`] for invalid arrivals, gauge/layout
+    /// failures on any shard (lowest shard index wins when several fail
+    /// in one window), a backbone whose group map does not cover the
+    /// topology, or a shard that can no longer make progress.
+    pub fn run(
+        self,
+        jobs: &[JobProfile],
+        arrivals: &Arrivals,
+    ) -> Result<ShardedFleetReport, WanifyError> {
+        let n_shards = self.shards.len();
+        let n_dcs = self.shards[0].sim().topology().len();
+        if let Some(bb) = &self.backbone {
+            if bb.groups().len() != n_dcs {
+                return Err(WanifyError::DimensionMismatch {
+                    expected: n_dcs,
+                    got: bb.groups().len(),
+                });
+            }
+        }
+        for (s, shard) in self.shards.iter().enumerate() {
+            if shard.sim().topology().len() != n_dcs {
+                return Err(WanifyError::DimensionMismatch {
+                    expected: n_dcs,
+                    got: shard.sim().topology().len(),
+                });
+            }
+            if shard.sim().topology() != self.shards[0].sim().topology() {
+                return Err(WanifyError::InvalidConfig(format!(
+                    "shard {s} simulates a different topology than shard 0; every shard \
+                     must replicate the same WAN"
+                )));
+            }
+        }
+
+        // Partition the trace, preserving order within each shard.
+        let mut per_shard_jobs: Vec<Vec<JobProfile>> = vec![Vec::new(); n_shards];
+        let mut shard_of_idx: Vec<usize> = Vec::with_capacity(jobs.len());
+        {
+            let topo = self.shards[0].sim().topology();
+            for (idx, job) in jobs.iter().enumerate() {
+                let s = self.policy.shard_of(idx, job, topo, n_shards) % n_shards;
+                per_shard_jobs[s].push(job.clone());
+                shard_of_idx.push(s);
+            }
+        }
+
+        let policy_name = self.policy.name().to_string();
+        let mut runs: Vec<FleetRun> = Vec::with_capacity(n_shards);
+        match arrivals {
+            Arrivals::Poisson { rate_per_s, seed } => {
+                // Thin one global Poisson stream: arrival times are
+                // sampled once for the whole trace (exactly as the
+                // single-engine fleet samples them) and travel with the
+                // jobs to their shards, so the fleet-wide arrival process
+                // is identical at every shard count.
+                let times = fleet::poisson_arrival_times(jobs.len(), *rate_per_s, *seed)?;
+                let mut per_shard_times: Vec<Vec<f64>> = vec![Vec::new(); n_shards];
+                for (idx, t) in times.into_iter().enumerate() {
+                    per_shard_times[shard_of_idx[idx]].push(t);
+                }
+                for (engine, (shard_jobs, shard_times)) in
+                    self.shards.into_iter().zip(per_shard_jobs.into_iter().zip(per_shard_times))
+                {
+                    runs.push(FleetRun::start_at(engine, shard_jobs, shard_times)?);
+                }
+            }
+            Arrivals::Closed { clients, think_s } => {
+                if *clients == 0 {
+                    return Err(WanifyError::InvalidConfig(
+                        "closed-loop arrivals need at least one client".into(),
+                    ));
+                }
+                // Split the client population across shards (remainder to
+                // the lowest indices) so the fleet-wide concurrency level
+                // does not scale with the shard count; every non-empty
+                // shard keeps at least one client so it can make
+                // progress. A single shard gets the whole population.
+                let base = *clients / n_shards;
+                let rem = *clients % n_shards;
+                for (s, (engine, shard_jobs)) in
+                    self.shards.into_iter().zip(per_shard_jobs).enumerate()
+                {
+                    let mut shard_clients = base + usize::from(s < rem);
+                    if shard_clients == 0 && !shard_jobs.is_empty() {
+                        shard_clients = 1;
+                    }
+                    let shard_arrivals =
+                        Arrivals::Closed { clients: shard_clients.max(1), think_s: *think_s };
+                    runs.push(FleetRun::start(engine, shard_jobs, &shard_arrivals)?);
+                }
+            }
+        }
+
+        // Sync windows: with a backbone and ≥ 2 shards, pause every shard
+        // each `sync_every_s` simulated seconds for the epoch exchange;
+        // otherwise one unbounded window serves everything.
+        let sync_s = match (&self.backbone, n_shards) {
+            (Some(bb), n) if n > 1 => bb.sync_every_s(),
+            _ => f64::INFINITY,
+        };
+        let mut backbone_syncs = 0u64;
+        let mut window = 0u64;
+        loop {
+            if let Some(bb) = self.backbone.as_ref().filter(|_| sync_s.is_finite()) {
+                let demands: Vec<Grid<f64>> =
+                    runs.iter().map(|r| r.cross_shard_demand(bb.groups(), bb.n_groups())).collect();
+                let shares = bb.allocate(&demands);
+                for ((run, share), demand) in runs.iter_mut().zip(&shares).zip(&demands) {
+                    run.apply_backbone_share(bb.groups(), share, demand);
+                }
+                backbone_syncs += 1;
+            }
+            window += 1;
+            let deadline_s =
+                if sync_s.is_finite() { window as f64 * sync_s } else { f64::INFINITY };
+            // Each shard owns its whole state: the window outcome cannot
+            // depend on scheduling, so any thread count is bit-identical.
+            let stepped: Vec<(FleetRun, Option<WanifyError>)> = runs
+                .into_par_iter()
+                .map(|mut run| {
+                    let err = if run.finished() { None } else { run.run_until(deadline_s).err() };
+                    (run, err)
+                })
+                .collect();
+            runs = Vec::with_capacity(n_shards);
+            for (run, err) in stepped {
+                if let Some(e) = err {
+                    return Err(e);
+                }
+                runs.push(run);
+            }
+            if runs.iter().all(FleetRun::finished) {
+                break;
+            }
+            debug_assert!(
+                sync_s.is_finite(),
+                "an unbounded window either finishes every shard or errors"
+            );
+        }
+
+        let per_shard: Vec<FleetReport> = runs.into_iter().map(FleetRun::into_report).collect();
+        Ok(ShardedFleetReport {
+            fleet: merge_reports(&per_shard),
+            per_shard,
+            policy: policy_name,
+            backbone_syncs,
+        })
+    }
+}
+
+/// Deterministically merges per-shard reports into one fleet-level
+/// report: outcomes ordered by completion time with shard index as the
+/// tiebreak (a stable sort, so a single shard's order is preserved
+/// verbatim), gauges summed, duration spanning the whole fleet.
+fn merge_reports(per_shard: &[FleetReport]) -> FleetReport {
+    let mut tagged: Vec<(usize, &JobOutcome)> = per_shard
+        .iter()
+        .enumerate()
+        .flat_map(|(s, r)| r.outcomes.iter().map(move |o| (s, o)))
+        .collect();
+    tagged.sort_by(|(sa, a), (sb, b)| a.completed_s.total_cmp(&b.completed_s).then(sa.cmp(sb)));
+    let outcomes: Vec<JobOutcome> = tagged.into_iter().map(|(_, o)| o.clone()).collect();
+    let duration_s = if outcomes.is_empty() {
+        0.0
+    } else {
+        let first_arrival = outcomes.iter().map(|o| o.arrived_s).fold(f64::INFINITY, f64::min);
+        let last_completion =
+            outcomes.iter().map(|o| o.completed_s).fold(f64::NEG_INFINITY, f64::max);
+        last_completion - first_arrival
+    };
+    let gauges = per_shard.iter().map(|r| r.gauges).sum();
+    FleetReport::new(
+        outcomes,
+        duration_s,
+        gauges,
+        per_shard.first().map_or_else(String::new, |r| r.scheduler.clone()),
+        per_shard.first().map_or_else(String::new, |r| r.belief.clone()),
+    )
+}
+
+// Engine-level behaviour (completion, determinism, thread-count
+// invariance, backbone pressure) is covered by the integration tests in
+// `tests/sharded_engine.rs` and the `sharded_parity` proptest — they need
+// `wanify-workloads` traces, which dev-cycle back onto this crate and
+// therefore cannot unify types with a unit-test build. The policy logic
+// below is self-contained.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::StageProfile;
+    use crate::storage::DataLayout;
+    use wanify_netsim::{paper_testbed_n, VmType};
+
+    fn job(name: &str, layout: DataLayout) -> JobProfile {
+        JobProfile::new(
+            name,
+            layout,
+            vec![
+                StageProfile::shuffling("map", 1.0, 1.0),
+                StageProfile::terminal("reduce", 0.1, 0.5),
+            ],
+        )
+    }
+
+    #[test]
+    fn region_group_policy_follows_the_data() {
+        let topo = paper_testbed_n(VmType::t2_medium(), 4);
+        let policy = RegionGroupShards::new(vec![0, 0, 1, 1]);
+        let mut layout = DataLayout::uniform(4, 8.0);
+        // Pile the data onto DC3 (group 1).
+        for from in 0..3 {
+            let all = layout.blocks_per_dc[from];
+            layout.move_blocks(from, 3, all);
+        }
+        assert_eq!(policy.shard_of(0, &job("hot", layout), &topo, 2), 1);
+        let uniform = job("cold", DataLayout::uniform(4, 8.0));
+        assert_eq!(policy.shard_of(0, &uniform, &topo, 2), 0, "ties break to the lowest group");
+    }
+
+    #[test]
+    fn region_group_policy_uses_the_group_plurality_not_the_largest_dc() {
+        // Group 0 holds 6 GB spread over two DCs; group 1 holds a single
+        // 4 GB concentration. The plurality (group 0) must win even
+        // though DC3 is individually the largest.
+        let topo = paper_testbed_n(VmType::t2_medium(), 4);
+        let policy = RegionGroupShards::new(vec![0, 0, 1, 1]);
+        let spread = job("spread", DataLayout::from_gb(&[3.0, 3.0, 0.0, 4.0]));
+        assert_eq!(policy.shard_of(0, &spread, &topo, 2), 0);
+    }
+
+    #[test]
+    fn tenant_class_policy_is_stable_per_family() {
+        let topo = paper_testbed_n(VmType::t2_medium(), 4);
+        let policy = TenantClassShards::new();
+        let a = job("terasort-3", DataLayout::uniform(4, 2.0));
+        let b = job("terasort-17", DataLayout::uniform(4, 5.0));
+        let c = job("q82-3", DataLayout::uniform(4, 2.0));
+        assert_eq!(
+            policy.shard_of(0, &a, &topo, 3),
+            policy.shard_of(9, &b, &topo, 3),
+            "same family must land on the same shard regardless of index"
+        );
+        // Different families spread (for this particular pair of names).
+        assert_ne!(policy.shard_of(0, &a, &topo, 3), policy.shard_of(0, &c, &topo, 3));
+    }
+
+    #[test]
+    fn round_robin_balances_by_index() {
+        let topo = paper_testbed_n(VmType::t2_medium(), 4);
+        let policy = RoundRobinShards::new();
+        let j = job("any-0", DataLayout::uniform(4, 1.0));
+        let shards: Vec<usize> = (0..6).map(|i| policy.shard_of(i, &j, &topo, 3)).collect();
+        assert_eq!(shards, vec![0, 1, 2, 0, 1, 2]);
+    }
+}

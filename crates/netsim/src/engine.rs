@@ -33,7 +33,7 @@
 //! multiplex a connection pool per peer).
 
 use crate::flow::{FlowSpec, Transfer};
-use crate::grid::{BwMatrix, ConnMatrix};
+use crate::grid::{BwMatrix, ConnMatrix, Grid};
 use crate::sim::{
     epochs_to_drain, NetSim, PairProgress, RateScratch, RunStats, MAX_EPOCHS, PAYLOAD_EPS_GB,
 };
@@ -410,6 +410,102 @@ impl NetEngine {
     fn sync_stats(&mut self) {
         self.sim.set_last_run_stats(self.stats);
     }
+
+    /// Shard-boundary flow accounting: the engine's current demand on
+    /// every directed cross-group trunk, in Mbps.
+    ///
+    /// For each in-flight pair whose endpoints sit in different region
+    /// groups (per `group_of`, indexed by DC), the pair's *unreserved*
+    /// ceiling — window limit × dynamics × provider factor, capped by
+    /// traffic-control throttles but **not** by the current backbone
+    /// reservation — is added to the `group(src) → group(dst)` cell. A
+    /// cross-shard [`crate::Backbone`] divides each trunk across shards
+    /// from these grids at every epoch-exchange sync point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_of` does not match the topology size or any group
+    /// index is `>= n_groups`.
+    pub fn cross_group_demand_mbps(&self, group_of: &[usize], n_groups: usize) -> Grid<f64> {
+        assert_eq!(group_of.len(), self.sim.topology().len(), "group map must cover every DC");
+        let mut demand = Grid::filled(n_groups, 0.0);
+        for group in &self.groups {
+            for pair in &group.pairs {
+                if !pair.active || pair.src == pair.dst {
+                    continue;
+                }
+                let (gs, gd) = (group_of[pair.src], group_of[pair.dst]);
+                if gs == gd {
+                    continue;
+                }
+                let conns = group.conns.get(pair.src, pair.dst).max(1);
+                let spec = FlowSpec::new(DcId(pair.src), DcId(pair.dst), conns);
+                let ceiling = self.sim.unreserved_ceiling_mbps(&spec);
+                demand.set(gs, gd, demand.get(gs, gd) + ceiling);
+            }
+        }
+        demand
+    }
+
+    /// Applies one shard's granted backbone share as per-pair caps.
+    ///
+    /// `share_mbps` is this shard's grant per directed group pair (from
+    /// [`crate::Backbone::allocate`]) and `demand_mbps` is the demand
+    /// grid this engine reported via
+    /// [`NetEngine::cross_group_demand_mbps`] for that exchange — passed
+    /// back in rather than recomputed, both to avoid re-deriving every
+    /// boundary pair's ceiling and to make explicit that the grant must
+    /// be applied against the demand it was computed from. Each trunk's
+    /// grant is split across the shard's in-flight boundary pairs on that
+    /// trunk proportionally to their unreserved ceilings; pairs on trunks
+    /// the shard has no in-flight demand on — and all intra-group pairs —
+    /// stay uncapped until the next sync point (the documented coarseness
+    /// of the epoch exchange). The caps replace any previous backbone
+    /// reservation on the wrapped simulator; the next fairness solve
+    /// re-anchors every pair whose rate they change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_of` does not match the topology size.
+    pub fn apply_backbone_allocation(
+        &mut self,
+        group_of: &[usize],
+        share_mbps: &Grid<f64>,
+        demand_mbps: &Grid<f64>,
+    ) {
+        let n = self.sim.topology().len();
+        assert_eq!(group_of.len(), n, "group map must cover every DC");
+        let totals = demand_mbps;
+        let mut caps = Grid::filled(n, f64::INFINITY);
+        for group in &self.groups {
+            for pair in &group.pairs {
+                if !pair.active || pair.src == pair.dst {
+                    continue;
+                }
+                let (gs, gd) = (group_of[pair.src], group_of[pair.dst]);
+                if gs == gd {
+                    continue;
+                }
+                let share = share_mbps.get(gs, gd);
+                if share.is_infinite() {
+                    continue;
+                }
+                let total = totals.get(gs, gd);
+                if total <= 0.0 {
+                    continue;
+                }
+                let conns = group.conns.get(pair.src, pair.dst).max(1);
+                let spec = FlowSpec::new(DcId(pair.src), DcId(pair.dst), conns);
+                let ceiling = self.sim.unreserved_ceiling_mbps(&spec);
+                let slice = share * (ceiling / total);
+                let cell = caps.get(pair.src, pair.dst);
+                // Flows from several groups can share a DC pair; their
+                // slices add up to the pair's aggregate cap.
+                caps.set(pair.src, pair.dst, if cell.is_infinite() { slice } else { cell + slice });
+            }
+        }
+        self.sim.set_backbone_caps(caps);
+    }
 }
 
 #[cfg(test)]
@@ -595,6 +691,77 @@ mod tests {
         let reports = drive_to_completion(&mut engine);
         let moved: f64 = reports.iter().flat_map(|r| r.egress_gigabits.iter()).sum();
         assert!((moved - 10.0).abs() < 1e-6, "moved {moved} Gb of 10 Gb submitted");
+    }
+
+    #[test]
+    fn same_timestamp_drains_report_in_group_id_order() {
+        // Regression for deterministic event ordering: two identical
+        // groups on the same pair get the same fair share, so their pairs
+        // drain at the same epoch; the completion events must come out in
+        // ascending GroupId (submission) order, every time.
+        let conns = ConnMatrix::filled(3, 1);
+        let mut engine = NetEngine::new(sim3());
+        let ids: Vec<GroupId> = (0..3)
+            .map(|_| engine.submit(&[Transfer::new(DcId(0), DcId(1), 12.0)], &conns))
+            .collect();
+        let events = engine.advance_until(f64::INFINITY);
+        assert_eq!(events.len(), 3, "equal groups drain at the same instant");
+        let first_done = events[0].completed_s;
+        for (event, id) in events.iter().zip(&ids) {
+            assert_eq!(event.group, *id, "events must be ordered by GroupId");
+            assert_eq!(event.completed_s.to_bits(), first_done.to_bits());
+        }
+        assert!(engine.is_idle());
+    }
+
+    #[test]
+    fn cross_group_demand_counts_only_boundary_pairs() {
+        let conns = ConnMatrix::filled(3, 2);
+        let mut engine = NetEngine::new(sim3());
+        // DC0, DC1 in group 0; DC2 in group 1.
+        let groups = [0usize, 0, 1];
+        engine.submit(
+            &[
+                Transfer::new(DcId(0), DcId(1), 5.0), // intra-group
+                Transfer::new(DcId(0), DcId(2), 5.0), // boundary 0 → 1
+                Transfer::new(DcId(2), DcId(1), 5.0), // boundary 1 → 0
+            ],
+            &conns,
+        );
+        let demand = engine.cross_group_demand_mbps(&groups, 2);
+        let spec02 = FlowSpec::new(DcId(0), DcId(2), 2);
+        let spec21 = FlowSpec::new(DcId(2), DcId(1), 2);
+        let want02 = engine.sim().unreserved_ceiling_mbps(&spec02);
+        let want21 = engine.sim().unreserved_ceiling_mbps(&spec21);
+        assert_eq!(demand.get(0, 1).to_bits(), want02.to_bits());
+        assert_eq!(demand.get(1, 0).to_bits(), want21.to_bits());
+        assert_eq!(demand.get(0, 0), 0.0, "intra-group traffic never hits the backbone");
+    }
+
+    #[test]
+    fn backbone_allocation_caps_boundary_pairs_and_slows_them() {
+        let conns = ConnMatrix::filled(3, 1);
+        let groups = [0usize, 0, 1];
+
+        let mut free = NetEngine::new(sim3());
+        free.submit(&[Transfer::new(DcId(0), DcId(2), 10.0)], &conns);
+        let unconstrained = drive_to_completion(&mut free).remove(0);
+
+        let mut capped = NetEngine::new(sim3());
+        capped.submit(&[Transfer::new(DcId(0), DcId(2), 10.0)], &conns);
+        let mut share = crate::grid::Grid::filled(2, f64::INFINITY);
+        share.set(0, 1, 20.0); // a 20 Mbps trunk reservation
+        let demand = capped.cross_group_demand_mbps(&groups, 2);
+        capped.apply_backbone_allocation(&groups, &share, &demand);
+        assert!((capped.sim().backbone_caps().get(0, 2) - 20.0).abs() < 1e-9);
+        assert!(capped.sim().backbone_caps().get(0, 1).is_infinite());
+        let constrained = drive_to_completion(&mut capped).remove(0);
+        assert!(
+            constrained.makespan_s > 2.0 * unconstrained.makespan_s,
+            "a tight trunk reservation must slow the boundary shuffle: {} vs {}",
+            constrained.makespan_s,
+            unconstrained.makespan_s
+        );
     }
 
     #[test]

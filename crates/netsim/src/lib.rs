@@ -39,7 +39,10 @@
 //! WAN — the [`engine`] module generalizes the same machinery into the
 //! resumable [`NetEngine`]: job-tagged flow groups submitted mid-flight,
 //! completion events, and caller deadlines, still at one fairness solve
-//! per event.
+//! per event. The [`backbone`] module couples *several* such engines —
+//! one per fleet shard — through finite inter-group trunks divided by a
+//! coarse epoch exchange, so shards coalesce independently between sync
+//! points and scale out across cores.
 //!
 //! ## Quick example
 //!
@@ -58,6 +61,7 @@
 //! assert!(static_bw.max_off_diag() > runtime.min_off_diag());
 //! ```
 
+pub mod backbone;
 pub mod dynamics;
 pub mod engine;
 pub mod fairness;
@@ -72,6 +76,7 @@ pub mod vm;
 
 mod params;
 
+pub use backbone::Backbone;
 pub use dynamics::Dynamics;
 pub use engine::{GroupId, GroupReport, NetEngine};
 pub use fairness::{allocate_max_min, FairnessProblem, FairnessWorkspace, ResourceKind};

@@ -232,6 +232,10 @@ pub struct NetSim {
     rng: StdRng,
     time_s: f64,
     throttles: Grid<f64>,
+    /// Per-pair caps reserved by a cross-shard backbone exchange
+    /// ([`crate::backbone`]); `f64::INFINITY` everywhere when this
+    /// simulator is not a shard of a sharded fleet.
+    backbone_caps: Grid<f64>,
     last_run_stats: RunStats,
 }
 
@@ -247,6 +251,7 @@ impl NetSim {
             rng: StdRng::seed_from_u64(seed),
             time_s: 0.0,
             throttles: Grid::filled(n, f64::INFINITY),
+            backbone_caps: Grid::filled(n, f64::INFINITY),
             last_run_stats: RunStats::default(),
         }
     }
@@ -306,6 +311,31 @@ impl NetSim {
         &self.throttles
     }
 
+    /// Replaces the backbone reservation caps wholesale. A sharded fleet
+    /// driver calls this at every epoch-exchange sync point with the
+    /// per-pair shares its shard reserved on the cross-shard backbone;
+    /// `f64::INFINITY` cells leave a pair unconstrained. Composes with
+    /// (does not overwrite) any traffic-control throttles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caps` does not match the topology size.
+    pub fn set_backbone_caps(&mut self, caps: Grid<f64>) {
+        assert_eq!(caps.len(), self.topo.len(), "backbone caps must match topology size");
+        self.backbone_caps = caps;
+    }
+
+    /// Removes every backbone reservation cap.
+    pub fn clear_backbone_caps(&mut self) {
+        let n = self.topo.len();
+        self.backbone_caps = Grid::filled(n, f64::INFINITY);
+    }
+
+    /// Current backbone reservation caps.
+    pub fn backbone_caps(&self) -> &Grid<f64> {
+        &self.backbone_caps
+    }
+
     /// Advances wall-clock time and bandwidth dynamics by `dt_s` seconds.
     pub fn advance(&mut self, dt_s: f64) {
         self.dynamics.advance(dt_s, &mut self.rng);
@@ -319,9 +349,13 @@ impl NetSim {
         self.time_s += 3600.0;
     }
 
-    /// Ceiling of a flow in Mbps: window limit × dynamics × provider factor,
-    /// capped by any traffic-control throttle.
-    fn flow_ceiling(&self, f: &FlowSpec) -> f64 {
+    /// Ceiling of a flow in Mbps *before* backbone reservations: window
+    /// limit × dynamics × provider factor, capped by any traffic-control
+    /// throttle. This is the demand signal a cross-shard epoch exchange
+    /// measures — deliberately blind to the backbone caps it feeds, so a
+    /// shard's reservation tracks what it *wants*, not what it was last
+    /// granted.
+    pub fn unreserved_ceiling_mbps(&self, f: &FlowSpec) -> f64 {
         let dist = self.topo.distance_miles(f.src, f.dst);
         let mut cap = f64::from(f.conns) * self.params.conn_cap_mbps(dist);
         cap *= self.dynamics.multiplier(f.src.0, f.dst.0);
@@ -331,6 +365,12 @@ impl NetSim {
             cap *= self.params.cross_provider_factor;
         }
         cap.min(self.throttles.at(f.src, f.dst))
+    }
+
+    /// Effective ceiling of a flow in Mbps: the unreserved ceiling further
+    /// capped by any backbone reservation on the pair.
+    fn flow_ceiling(&self, f: &FlowSpec) -> f64 {
+        self.unreserved_ceiling_mbps(f).min(self.backbone_caps.at(f.src, f.dst))
     }
 
     /// Contention weight of a flow (connections × per-connection RTT bias).
@@ -729,6 +769,32 @@ mod tests {
         sim.clear_throttles();
         let rates = sim.allocate_rates(&[FlowSpec::new(DcId(0), DcId(1), 8)]);
         assert!(rates[0] > 1000.0);
+    }
+
+    #[test]
+    fn backbone_caps_compose_with_throttles_and_clear() {
+        let mut sim = sim3();
+        let flow = [FlowSpec::new(DcId(0), DcId(1), 8)];
+        let free = sim.allocate_rates(&flow)[0];
+        // A backbone reservation caps the pair like a throttle would…
+        let mut caps = Grid::filled(3, f64::INFINITY);
+        caps.set(0, 1, 150.0);
+        sim.set_backbone_caps(caps);
+        assert!(sim.allocate_rates(&flow)[0] <= 150.0 + 1e-6);
+        // …composes with (does not overwrite) traffic control: the
+        // tighter of the two wins.
+        sim.set_throttle(DcId(0), DcId(1), 90.0);
+        assert!(sim.allocate_rates(&flow)[0] <= 90.0 + 1e-6);
+        // The demand signal stays blind to the reservation, capped only
+        // by the throttle.
+        assert!((sim.unreserved_ceiling_mbps(&flow[0]) - 90.0).abs() < 1e-6);
+        // Clearing the reservation restores the throttled rate; clearing
+        // the throttle restores the free rate bit for bit.
+        sim.clear_backbone_caps();
+        assert!(sim.backbone_caps().get(0, 1).is_infinite());
+        assert!(sim.allocate_rates(&flow)[0] <= 90.0 + 1e-6);
+        sim.clear_throttles();
+        assert_eq!(sim.allocate_rates(&flow)[0].to_bits(), free.to_bits());
     }
 
     #[test]

@@ -25,4 +25,4 @@ pub mod wordcount;
 
 pub use quantization::{QuantConfig, QuantPolicy, TrainingReport};
 pub use tpcds::TpcDsQuery;
-pub use trace::{mixed_trace, TraceConfig};
+pub use trace::{mixed_trace, regional_mixed_trace, TraceConfig};

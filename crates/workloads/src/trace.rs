@@ -8,7 +8,8 @@
 //! simulated serving window. Every job's input size and skew are drawn
 //! from a seeded stream: equal `(seed, n_dcs, jobs)` inputs produce an
 //! identical trace, which is what makes fleet runs reproducible end to
-//! end.
+//! end. [`regional_mixed_trace`] additionally homes every job to a
+//! region group — the tenant shape sharded fleets partition on.
 
 use crate::{terasort, wordcount, TpcDsQuery};
 use rand::rngs::StdRng;
@@ -91,6 +92,61 @@ pub fn mixed_trace(cfg: &TraceConfig) -> Vec<JobProfile> {
     jobs
 }
 
+/// Samples a **region-tagged** mixed trace: the same workload mix as
+/// [`mixed_trace`], but every job is homed to one of the region groups in
+/// `group_of` (the DC → group map a
+/// [`Backbone`](wanify_netsim::Backbone) uses) and most of its input is
+/// concentrated on that group's data centers. Home groups rotate
+/// round-robin over the trace, so every group gets tenants; job names
+/// gain an `@g<home>` tag (e.g. `terasort-4@g2`) that region-group shard
+/// policies and report readers can key on.
+///
+/// This is the natural input for a sharded fleet: tenants mostly shuffle
+/// inside their home group, and only the spill-over rides the cross-shard
+/// backbone.
+///
+/// # Panics
+///
+/// Panics if `group_of.len() != cfg.n_dcs` (and as [`mixed_trace`] for
+/// degenerate configs).
+///
+/// # Examples
+///
+/// ```
+/// use wanify_workloads::trace::{regional_mixed_trace, TraceConfig};
+/// let jobs = regional_mixed_trace(&TraceConfig::new(4, 6, 7), &[0, 0, 1, 1]);
+/// assert_eq!(jobs.len(), 6);
+/// assert!(jobs[0].name.contains("@g"));
+/// ```
+pub fn regional_mixed_trace(cfg: &TraceConfig, group_of: &[usize]) -> Vec<JobProfile> {
+    assert_eq!(
+        group_of.len(),
+        cfg.n_dcs,
+        "group map must assign every DC of the trace a region group"
+    );
+    let n_groups = group_of.iter().copied().max().map_or(1, |g| g + 1);
+    let mut jobs = mixed_trace(cfg);
+    for (idx, job) in jobs.iter_mut().enumerate() {
+        let home = idx % n_groups;
+        let home_dcs: Vec<usize> = (0..cfg.n_dcs).filter(|&dc| group_of[dc] == home).collect();
+        if !home_dcs.is_empty() {
+            // Concentrate the input: move three quarters of every foreign
+            // DC's blocks onto the home group, spread round-robin.
+            let mut slot = idx % home_dcs.len();
+            for (from, &group) in group_of.iter().enumerate() {
+                if group == home {
+                    continue;
+                }
+                let moving = 3 * job.layout.blocks_per_dc[from] / 4;
+                job.layout.move_blocks(from, home_dcs[slot], moving);
+                slot = (slot + 1) % home_dcs.len();
+            }
+        }
+        job.name = format!("{}@g{home}", job.name);
+    }
+    jobs
+}
+
 /// Uniform layout two thirds of the time, one third skewed toward a
 /// random region (as the paper's HDFS block moves create).
 fn sample_layout(n_dcs: usize, input_gb: f64, rng: &mut StdRng) -> DataLayout {
@@ -155,5 +211,55 @@ mod tests {
     #[should_panic]
     fn zero_jobs_panics() {
         let _ = mixed_trace(&TraceConfig::new(4, 0, 1));
+    }
+
+    #[test]
+    fn regional_trace_is_deterministic_and_tagged() {
+        let groups = [0usize, 0, 1, 2];
+        let a = regional_mixed_trace(&TraceConfig::new(4, 12, 6), &groups);
+        let b = regional_mixed_trace(&TraceConfig::new(4, 12, 6), &groups);
+        assert_eq!(a, b);
+        for (idx, job) in a.iter().enumerate() {
+            assert!(
+                job.name.ends_with(&format!("@g{}", idx % 3)),
+                "{} lacks its home tag",
+                job.name
+            );
+        }
+    }
+
+    #[test]
+    fn regional_trace_concentrates_data_in_the_home_group() {
+        let groups = [0usize, 0, 1, 1];
+        let jobs = regional_mixed_trace(&TraceConfig::new(4, 10, 3), &groups);
+        for (idx, job) in jobs.iter().enumerate() {
+            let home = idx % 2;
+            let home_gb: f64 =
+                (0..4).filter(|&d| groups[d] == home).map(|d| job.layout.gb_at(d)).sum();
+            let total: f64 = (0..4).map(|d| job.layout.gb_at(d)).sum();
+            assert!(
+                home_gb > 0.6 * total,
+                "{}: home group holds {home_gb:.2} of {total:.2} GB",
+                job.name
+            );
+        }
+    }
+
+    #[test]
+    fn regional_trace_rotates_home_groups() {
+        let groups = [0usize, 1, 2, 2];
+        let jobs = regional_mixed_trace(&TraceConfig::new(4, 9, 5), &groups);
+        for home in 0..3 {
+            assert!(
+                jobs.iter().any(|j| j.name.ends_with(&format!("@g{home}"))),
+                "group {home} got no tenants"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "group map")]
+    fn regional_trace_rejects_short_group_maps() {
+        let _ = regional_mixed_trace(&TraceConfig::new(4, 4, 1), &[0, 1]);
     }
 }

@@ -24,7 +24,17 @@ fn serve(jobs: &[wanify_gda::JobProfile], max_concurrent: usize) -> FleetReport 
 }
 
 fn main() {
-    let n_jobs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(24);
+    let n_jobs: usize = match std::env::args().nth(1) {
+        None => 24,
+        Some(raw) => match raw.parse() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("error: expected a positive job count, got {raw:?}");
+                eprintln!("usage: fleet_contention [jobs]   (default: 24)");
+                std::process::exit(2);
+            }
+        },
+    };
     println!("{n_jobs} mixed queries on the 8-DC paper testbed (Tetrium, static belief)\n");
     let trace = mixed_trace(&TraceConfig::new(8, n_jobs, 42).scaled(0.5));
 
