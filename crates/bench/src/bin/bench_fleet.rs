@@ -36,7 +36,7 @@ fn fleet_run(n: usize, jobs: &[wanify_gda::JobProfile], max_concurrent: usize) -
         sim(n),
         Box::new(Tetrium::new()),
         Box::new(wanify::StaticIndependent::new()),
-        FleetConfig { max_concurrent, regauge_every_s: 300.0, conns: None },
+        FleetConfig { max_concurrent, regauge_every_s: 300.0, conns: None, faults: None },
     )
     .run(jobs, &Arrivals::Closed { clients: max_concurrent, think_s: 0.0 })
     .expect("bench trace matches its topology")

@@ -1,0 +1,96 @@
+//! Emits `BENCH_scenarios.json`: the tracked baseline for the
+//! fault-injection scenario suite.
+//!
+//! Runs the whole committed catalog twice — once inside an explicit
+//! 1-thread rayon pool, once inside a 4-thread pool — and asserts the
+//! two passes produce bit-identical outcome digests (the sharded arms
+//! are the only rayon consumers, and faulted runs must stay
+//! thread-count-invariant like every other path in this workspace).
+//! Every scenario's invariants must also pass.
+//!
+//! Usage: `bench_scenarios [--smoke] [--out PATH]`
+//!   --smoke  run only the two fastest scenarios (CI lane); skips the
+//!            JSON unless --out is given.
+//!   --out    JSON output path (default `BENCH_scenarios.json`, full
+//!            mode).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use wanify_scenarios::{catalog, render_digests, run_all, ScenarioOutcome};
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool construction")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = match args.iter().position(|a| a == "--out") {
+        Some(i) => match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => Some(path.clone()),
+            _ => {
+                eprintln!("error: --out requires a path argument");
+                std::process::exit(2);
+            }
+        },
+        None => (!smoke).then(|| "BENCH_scenarios.json".to_string()),
+    };
+
+    let mut specs = catalog::all();
+    if smoke {
+        specs.retain(|s| s.name == "permanent-outage" || s.name == "link-flap");
+    }
+
+    let start = Instant::now();
+    let serial: Vec<ScenarioOutcome> = pool(1).install(|| run_all(&specs));
+    let serial_wall_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let parallel: Vec<ScenarioOutcome> = pool(4).install(|| run_all(&specs));
+    let parallel_wall_s = start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        render_digests(&serial),
+        render_digests(&parallel),
+        "scenario suite must be bit-identical across rayon thread counts"
+    );
+    for outcome in &serial {
+        assert!(
+            outcome.passed(),
+            "scenario {} failed its invariants: {:?}",
+            outcome.spec.name,
+            outcome.checks.iter().filter(|c| !c.pass).collect::<Vec<_>>()
+        );
+    }
+
+    let mut rows = String::new();
+    for o in &serial {
+        let f = &o.solo.faults;
+        let _ = writeln!(
+            rows,
+            "    {{ \"name\": \"{}\", \"solo_duration_s\": {:.2}, \"sharded_duration_s\": \
+             {:.2}, \"retries\": {}, \"replacements\": {}, \"stalled_flows\": {}, \
+             \"failed_jobs\": {}, \"degraded_s\": {:.2}, \"invariants\": {} }},",
+            o.spec.name,
+            o.solo.duration_s,
+            o.sharded.fleet.duration_s,
+            f.retries,
+            f.replacements,
+            f.stalled_flows,
+            f.failed_jobs,
+            f.degraded_s,
+            o.checks.len(),
+        );
+    }
+    let rows = rows.trim_end().trim_end_matches(',').to_string();
+    let json = format!(
+        "{{\n  \"bench\": \"scenarios\",\n  \"mode\": \"{}\",\n  \"suite_wall_s_1thread\": \
+         {serial_wall_s:.3},\n  \"suite_wall_s_4threads\": {parallel_wall_s:.3},\n  \
+         \"scenarios\": [\n{rows}\n  ]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+    );
+    print!("{json}");
+    if let Some(path) = out {
+        std::fs::write(&path, &json).expect("write benchmark JSON");
+        eprintln!("wrote {path}");
+    }
+}

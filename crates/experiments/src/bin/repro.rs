@@ -1,14 +1,17 @@
-//! Regenerates the WANify paper's tables and figures.
+//! Regenerates the WANify paper's tables and figures (plus the
+//! beyond-the-paper fleet and fault-injection studies).
 //!
 //! ```text
 //! repro [--quick] [--seed N] <id>|all
 //! ```
 //!
-//! Ids: table1, table2, fig2, table4, fig4, fig5, fig6, fig7, fig8, fig9,
-//! fig10, fig11, sec583, model, fleet, sharded.
+//! Valid ids come from `wanify_experiments::registry` — the paper
+//! artifacts (`table1` … `sec583`), the fleet studies (`fleet`,
+//! `sharded`, `model`), the whole scenario suite (`scenarios`) and
+//! individual `scenario:<name>` entries. An unknown id exits nonzero and
+//! prints the full list.
 
-use wanify_experiments as exp;
-use wanify_experiments::Effort;
+use wanify_experiments::{registry, Effort};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,39 +35,20 @@ fn main() {
     if ids.is_empty() {
         usage("no experiment id given");
     }
-    let all = [
-        "table1", "table2", "fig2", "table4", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-        "fig10", "fig11", "sec583", "model", "fleet", "sharded",
-    ];
-    let selected: Vec<&str> = if ids.iter().any(|i| i == "all") {
-        all.to_vec()
+    // `all` runs the base ids; the `scenarios` entry already covers every
+    // individual `scenario:<name>`, so those aren't repeated.
+    let selected: Vec<String> = if ids.iter().any(|i| i == "all") {
+        registry::BASE_IDS.iter().map(|s| s.to_string()).collect()
     } else {
-        ids.iter().map(String::as_str).collect()
+        ids
     };
     for id in selected {
         let start = std::time::Instant::now();
-        let output = match id {
-            "table1" => exp::table1::run(seed).render(),
-            "table2" => exp::table2::run().render(),
-            "fig2" => exp::fig2::run(seed).render(),
-            "table4" => exp::table4::run(effort, seed).render(),
-            "fig4" => exp::fig4::run(effort, seed).render(),
-            "fig5" => exp::fig5::run(effort, seed).render(),
-            "fig6" => exp::fig6::run(effort, seed).render(),
-            "fig7" => exp::fig7::run(effort, seed).render(),
-            "fig8" => exp::fig8::run(effort, seed).render(),
-            "fig9" => exp::fig9::run(effort, seed).render(),
-            "fig10" => exp::fig10::run(effort, seed).render(),
-            "fig11" => exp::fig11::run(effort, seed).render(),
-            "sec583" => exp::sec583::run(effort, seed).render(),
-            "model" => exp::model::run(effort, seed).render(),
-            "fleet" => exp::fleet::run(effort, seed).render(),
-            "sharded" => exp::sharded::run(effort, seed).render(),
-            other => {
-                eprintln!("unknown experiment id: {other}");
-                std::process::exit(2);
-            }
-        };
+        let output = registry::run(&id, effort, seed).unwrap_or_else(|| {
+            eprintln!("unknown experiment id: {id}");
+            eprintln!("valid ids: {}", registry::experiment_ids().join(" "));
+            std::process::exit(2);
+        });
         println!("=== {id} ({:.1}s) ===", start.elapsed().as_secs_f64());
         println!("{output}");
     }
@@ -75,9 +59,8 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: repro [--quick] [--seed N] <id>|all\n\
-         ids: table1 table2 fig2 table4 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 sec583 model \
-         fleet sharded"
+        "usage: repro [--quick] [--seed N] <id>|all\nids: {}",
+        registry::experiment_ids().join(" ")
     );
     std::process::exit(2);
 }

@@ -125,7 +125,12 @@ pub fn run(effort: Effort, seed: u64) -> FleetResult {
                 env.sim(100),
                 Box::new(Tetrium::new()),
                 env.source(belief),
-                FleetConfig { max_concurrent: 8, regauge_every_s: 120.0, conns: None },
+                FleetConfig {
+                    max_concurrent: 8,
+                    regauge_every_s: 120.0,
+                    conns: None,
+                    faults: None,
+                },
             )
             .run(&trace, &Arrivals::Poisson { rate_per_s: rate, seed: seed ^ 0xBEEF })
             .expect("fleet traces match their topology");

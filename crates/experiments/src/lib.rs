@@ -28,6 +28,10 @@
 //! | `fleet`  | beyond the paper: belief provenances under multi-tenant contention |
 //! | `sharded` | beyond the paper: shard-count sweep of the sharded multi-sim fleet |
 //! | `model`  | prediction-model training quality |
+//! | `scenarios` | beyond the paper: the fault-injection scenario suite |
+//! | `scenario:<name>` | one committed fault-injection scenario |
+//!
+//! The [`registry`] module is the single source of truth for valid ids.
 
 pub mod common;
 pub mod fig10;
@@ -41,6 +45,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod fleet;
 pub mod model;
+pub mod registry;
 pub mod sec583;
 pub mod sharded;
 pub mod table1;

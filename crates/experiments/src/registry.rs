@@ -1,0 +1,110 @@
+//! The experiment-id registry behind the `repro` binary.
+//!
+//! One place lists every runnable id — the paper's tables and figures,
+//! the beyond-the-paper fleet studies, and one `scenario:<name>` id per
+//! committed fault-injection scenario — so the binary's dispatch, its
+//! usage text and its unknown-id diagnostics can never drift apart.
+
+use crate::Effort;
+
+/// The paper-artifact and fleet-study ids, in report order.
+pub const BASE_IDS: [&str; 17] = [
+    "table1",
+    "table2",
+    "fig2",
+    "table4",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "sec583",
+    "model",
+    "fleet",
+    "sharded",
+    "scenarios",
+];
+
+/// Every valid experiment id: [`BASE_IDS`] plus one `scenario:<name>`
+/// per entry of the committed scenario catalog.
+pub fn experiment_ids() -> Vec<String> {
+    let mut ids: Vec<String> = BASE_IDS.iter().map(|s| s.to_string()).collect();
+    ids.extend(wanify_scenarios::all().iter().map(|s| format!("scenario:{}", s.name)));
+    ids
+}
+
+/// Whether `id` is runnable.
+pub fn is_known(id: &str) -> bool {
+    if BASE_IDS.contains(&id) {
+        return true;
+    }
+    id.strip_prefix("scenario:").is_some_and(|name| wanify_scenarios::by_name(name).is_some())
+}
+
+/// Runs one experiment and returns its rendered output, or `None` for an
+/// unknown id.
+///
+/// Scenario ids ignore `effort` and `seed`: committed scenario reports
+/// pin their own seeds so the artifacts stay byte-reproducible.
+pub fn run(id: &str, effort: Effort, seed: u64) -> Option<String> {
+    if let Some(name) = id.strip_prefix("scenario:") {
+        let spec = wanify_scenarios::by_name(name)?;
+        return Some(wanify_scenarios::render_markdown(&[wanify_scenarios::run_scenario(&spec)]));
+    }
+    let out = match id {
+        "table1" => crate::table1::run(seed).render(),
+        "table2" => crate::table2::run().render(),
+        "fig2" => crate::fig2::run(seed).render(),
+        "table4" => crate::table4::run(effort, seed).render(),
+        "fig4" => crate::fig4::run(effort, seed).render(),
+        "fig5" => crate::fig5::run(effort, seed).render(),
+        "fig6" => crate::fig6::run(effort, seed).render(),
+        "fig7" => crate::fig7::run(effort, seed).render(),
+        "fig8" => crate::fig8::run(effort, seed).render(),
+        "fig9" => crate::fig9::run(effort, seed).render(),
+        "fig10" => crate::fig10::run(effort, seed).render(),
+        "fig11" => crate::fig11::run(effort, seed).render(),
+        "sec583" => crate::sec583::run(effort, seed).render(),
+        "model" => crate::model::run(effort, seed).render(),
+        "fleet" => crate::fleet::run(effort, seed).render(),
+        "sharded" => crate::sharded::run(effort, seed).render(),
+        "scenarios" => {
+            wanify_scenarios::render_markdown(&wanify_scenarios::run_all(&wanify_scenarios::all()))
+        }
+        _ => return None,
+    };
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_lists_paper_and_scenario_ids() {
+        let ids = experiment_ids();
+        assert!(ids.iter().any(|i| i == "fig5"));
+        assert!(ids.iter().any(|i| i == "sharded"));
+        assert!(ids.iter().any(|i| i == "scenario:outage-recovery"));
+        assert!(ids.len() >= BASE_IDS.len() + 6, "six scenarios ride along");
+    }
+
+    #[test]
+    fn every_listed_id_is_known() {
+        for id in experiment_ids() {
+            assert!(is_known(&id), "{id} listed but not runnable");
+        }
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        assert!(!is_known("fig99"));
+        assert!(!is_known("scenario:no-such-scenario"));
+        assert!(!is_known(""));
+        assert!(run("fig99", Effort::Quick, 1).is_none());
+        assert!(run("scenario:no-such-scenario", Effort::Quick, 1).is_none());
+    }
+}

@@ -116,6 +116,10 @@ pub fn run_job<S: BandwidthSource + ?Sized>(
                 run.on_shuffle_done(&group, sim.topology())
             }
             JobStep::Done(report) => return Ok(*report),
+            // `run_job` never installs a fault policy, so aborts cannot
+            // originate here; a Failed step would come from driving the
+            // state machine externally and still carries a full report.
+            JobStep::Failed(report) => return Ok(*report),
         };
     }
 }
@@ -171,6 +175,9 @@ pub enum JobStep {
     },
     /// The job finished; here is its report.
     Done(Box<QueryReport>),
+    /// The job was aborted by a fault policy after exhausting its stall
+    /// retries; the report carries the accounting accrued so far.
+    Failed(Box<QueryReport>),
 }
 
 /// Phase of a [`JobRun`] between driver events.
@@ -357,6 +364,153 @@ impl JobRun {
             RunPhase::Migrating => self.begin_compute(0, topo),
             RunPhase::Shuffling(s) => self.finish_stage(s, topo),
             phase => panic!("on_shuffle_done in phase {phase:?}"),
+        }
+    }
+
+    /// Feeds back a *cancelled* stalled flow group: absorbs the partial
+    /// accounting, re-places every transfer whose destination DC is down
+    /// (per `dcs_up`) onto the best alive DC the scheduler would pick for
+    /// the surviving volume, and returns the step to resume with plus the
+    /// number of redirected transfers. The step is a [`JobStep::Shuffle`]
+    /// carrying the rebuilt remainder — or, when every surviving byte
+    /// lands back on its own source, the post-shuffle continuation.
+    /// Transfers whose *source* is down are kept as-is: their bytes are
+    /// unreachable until the DC heals, so resubmitting (and stalling
+    /// again, under the fleet's backoff) is the only honest move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was not waiting for a shuffle.
+    pub fn on_shuffle_stalled(
+        &mut self,
+        partial: &GroupReport,
+        remaining: &[Transfer],
+        dcs_up: &[bool],
+        scheduler: &dyn Scheduler,
+        topo: &Topology,
+    ) -> (JobStep, u64) {
+        let migration = match self.phase {
+            RunPhase::Migrating => true,
+            RunPhase::Shuffling(_) => false,
+            phase => panic!("on_shuffle_stalled in phase {phase:?}"),
+        };
+        self.absorb_partial(partial);
+        let n = topo.len();
+
+        // Re-place over the belief with dead DCs masked out, weighting by
+        // the volume still waiting at each source.
+        let mut out_gb = vec![0.0; n];
+        for t in remaining {
+            out_gb[t.src.0] += t.gigabits / 8.0;
+        }
+        let downstream_compute = match self.phase {
+            RunPhase::Shuffling(s) => {
+                self.job.stages.get(s + 1).map_or(0.0, |next| next.compute_s_per_gb)
+            }
+            _ => self.job.stages[0].compute_s_per_gb,
+        };
+        let mut masked = self.bw_belief.clone();
+        for i in 0..n {
+            for j in 0..n {
+                if !dcs_up[i] || !dcs_up[j] {
+                    masked.set(i, j, 0.0);
+                }
+            }
+        }
+        let ctx = PlacementCtx {
+            topo,
+            bw: &masked,
+            out_gb: &out_gb,
+            compute_s_per_gb: downstream_compute,
+        };
+        let fractions = scheduler.place_reduce(&ctx);
+        // Best alive destination: the highest-fraction DC that is up
+        // (lowest id on ties, deterministic).
+        let best_alive = (0..n)
+            .filter(|&j| dcs_up[j])
+            .max_by(|&a, &b| fractions[a].total_cmp(&fractions[b]).then(b.cmp(&a)));
+
+        let mut transfers = Vec::with_capacity(remaining.len());
+        let mut redirected = 0u64;
+        for t in remaining {
+            if dcs_up[t.dst.0] {
+                transfers.push(*t);
+                continue;
+            }
+            let Some(new_dst) = best_alive else {
+                // Every DC is down: nothing to redirect to; resubmit and
+                // let the backoff wait out the outage.
+                transfers.push(*t);
+                continue;
+            };
+            redirected += 1;
+            let gb = t.gigabits / 8.0;
+            self.data_gb[t.dst.0] -= gb;
+            self.data_gb[new_dst] += gb;
+            if new_dst != t.src.0 {
+                transfers.push(Transfer::new(t.src, DcId(new_dst), t.gigabits));
+            }
+            // new_dst == src: the bytes stay local, nothing crosses the
+            // WAN for this transfer.
+        }
+
+        if transfers.is_empty() {
+            // The whole remainder resolved locally: the shuffle is over.
+            let step = match self.phase {
+                RunPhase::Migrating => self.begin_compute(0, topo),
+                RunPhase::Shuffling(s) => self.finish_stage(s, topo),
+                phase => unreachable!("checked above, phase {phase:?}"),
+            };
+            return (step, redirected);
+        }
+        let conns = if migration { ConnMatrix::filled(n, 1) } else { self.conns.clone() };
+        (JobStep::Shuffle { transfers, conns, migration }, redirected)
+    }
+
+    /// Aborts the run after a fault policy exhausted its retries: absorbs
+    /// the cancelled group's partial accounting, closes the current
+    /// stage, prices the cost of what actually ran and emits
+    /// [`JobStep::Failed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was not waiting for a shuffle.
+    pub fn abort(&mut self, partial: &GroupReport, topo: &Topology) -> JobStep {
+        assert!(
+            matches!(self.phase, RunPhase::Migrating | RunPhase::Shuffling(_)),
+            "abort in phase {:?}",
+            self.phase
+        );
+        self.absorb_partial(partial);
+        self.stage_latencies_s.push(self.latency_s - self.stage_start_s);
+        self.phase = RunPhase::Finished;
+        let cost =
+            CostModel::new().price(topo, self.latency_s, &self.egress_gb, self.job.input_gb());
+        JobStep::Failed(Box::new(QueryReport {
+            job: self.job.name.clone(),
+            scheduler: self.scheduler_name.clone(),
+            belief: self.belief_name.clone(),
+            latency_s: self.latency_s,
+            cost,
+            min_bw_mbps: self.min_bw.unwrap_or(0.0),
+            shuffle_gb: self.shuffle_gb,
+            egress_gb: self.egress_gb.clone(),
+            stage_latencies_s: self.stage_latencies_s.clone(),
+        }))
+    }
+
+    /// Folds a cancelled group's partial accounting into the run: elapsed
+    /// (including stalled) time, egress that actually moved, and the
+    /// observed floor bandwidth — but only when some pair carried data
+    /// (an outage-from-the-start group reports 0, which is "no
+    /// observation", not "zero bandwidth").
+    fn absorb_partial(&mut self, partial: &GroupReport) {
+        self.latency_s += partial.makespan_s;
+        if partial.min_pair_bw_mbps > 0.0 {
+            self.min_bw = Some(self.min_bw.unwrap_or(f64::INFINITY).min(partial.min_pair_bw_mbps));
+        }
+        for (i, gb) in partial.egress_gigabits.iter().enumerate() {
+            self.egress_gb[i] += gb / 8.0;
         }
     }
 

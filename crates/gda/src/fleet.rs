@@ -27,7 +27,7 @@
 //! bit-identical [`FleetReport`]s.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 use crate::executor::{JobRun, JobStep};
 use crate::job::JobProfile;
@@ -38,6 +38,50 @@ use rand::{Rng, SeedableRng};
 use wanify::source::BandwidthSource;
 use wanify::WanifyError;
 use wanify_netsim::{BwMatrix, ConnMatrix, GroupId, NetEngine, NetSim};
+
+/// Recovery knobs for a failure-aware fleet.
+///
+/// With a policy installed (see [`FleetConfig::faults`]), a flow group
+/// whose every remaining pair holds a zero rate — e.g. because a
+/// [`wanify_netsim::FaultSchedule`] downed a DC it must cross — is put
+/// under watch; if it is still stalled `stall_timeout_s` later, the fleet
+/// cancels it, re-places the dead-destination remainder through the
+/// scheduler, and resubmits after an exponential backoff. A job whose
+/// shuffle stalls more than `max_retries` times is aborted and reported
+/// failed (with its partial accounting) instead of wedging the fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPolicy {
+    /// Seconds a group must stay rate-zero before the fleet intervenes
+    /// (short transients — a link flap healing on its own — ride through).
+    pub stall_timeout_s: f64,
+    /// Stall interventions allowed per job before it is failed.
+    pub max_retries: u32,
+    /// Base of the exponential resubmit backoff: retry `k` resubmits
+    /// `backoff_base_s · 2^(k-1)` seconds after the cancel.
+    pub backoff_base_s: f64,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        Self { stall_timeout_s: 30.0, max_retries: 3, backoff_base_s: 15.0 }
+    }
+}
+
+/// Fault-attributed counters of one fleet run (all zero without faults).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultCounters {
+    /// Undelivered transfers collected from cancelled stalled groups.
+    pub stalled_flows: u64,
+    /// Stall interventions that led to a resubmission.
+    pub retries: u64,
+    /// Transfers re-placed to a different (alive) destination DC.
+    pub replacements: u64,
+    /// Jobs aborted after exhausting [`FaultPolicy::max_retries`].
+    pub failed_jobs: u64,
+    /// Simulated seconds the WAN spent with any fault active (from
+    /// [`wanify_netsim::NetSim::degraded_s`]).
+    pub degraded_s: f64,
+}
 
 /// Serving-layer knobs of a [`FleetEngine`].
 #[derive(Debug, Clone)]
@@ -52,11 +96,14 @@ pub struct FleetConfig {
     /// Per-shuffle parallel-connection matrix applied to every job;
     /// `None` means single connections (vanilla Spark).
     pub conns: Option<ConnMatrix>,
+    /// Stall detection and recovery; `None` keeps the legacy behaviour
+    /// (a permanently stalled flow is a fleet error, not a retry).
+    pub faults: Option<FaultPolicy>,
 }
 
 impl Default for FleetConfig {
     fn default() -> Self {
-        Self { max_concurrent: 16, regauge_every_s: 60.0, conns: None }
+        Self { max_concurrent: 16, regauge_every_s: 60.0, conns: None, faults: None }
     }
 }
 
@@ -81,6 +128,14 @@ pub enum Arrivals {
         /// Think time between a completion and the next submission.
         think_s: f64,
     },
+    /// Open loop with explicit absolute arrival times: job `i` arrives at
+    /// `times[i]` simulated seconds. The scenario harness uses this for
+    /// deterministic flash crowds (many arrivals at one instant) timed
+    /// against a fault schedule.
+    Scheduled {
+        /// Arrival time per job of the trace (finite, ≥ 0).
+        times: Vec<f64>,
+    },
 }
 
 /// One query's fleet-level outcome.
@@ -94,6 +149,9 @@ pub struct JobOutcome {
     pub admitted_s: f64,
     /// Simulated time the job finished.
     pub completed_s: f64,
+    /// Whether the job was aborted after exhausting its fault-policy
+    /// retries (its report then carries partial accounting).
+    pub failed: bool,
 }
 
 impl JobOutcome {
@@ -165,6 +223,8 @@ pub struct FleetReport {
     pub scheduler: String,
     /// Provenance of the shared bandwidth belief.
     pub belief: String,
+    /// Fault-attributed counters (all zero when no faults were injected).
+    pub faults: FaultCounters,
     /// Queue-wait order statistics, computed at construction.
     queue_wait: Percentiles,
     /// Makespan order statistics, computed at construction.
@@ -180,6 +240,7 @@ impl FleetReport {
         gauges: u64,
         scheduler: String,
         belief: String,
+        faults: FaultCounters,
     ) -> Self {
         let waits: Vec<f64> = outcomes.iter().map(JobOutcome::queue_wait_s).collect();
         let makespans: Vec<f64> = outcomes.iter().map(JobOutcome::makespan_s).collect();
@@ -189,9 +250,15 @@ impl FleetReport {
             gauges,
             scheduler,
             belief,
+            faults,
             queue_wait: Percentiles::of(&waits),
             makespan: Percentiles::of(&makespans),
         }
+    }
+
+    /// Number of jobs that were aborted by the fault policy.
+    pub fn failed_jobs(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.failed).count()
     }
 
     /// Completed queries per simulated second.
@@ -245,6 +312,12 @@ enum TimerKind {
     Arrival(usize),
     /// The compute phase of the run in `slot` finishes.
     ComputeDone(usize),
+    /// A watched group's stall grace period expires: if the group is
+    /// still stalled, the fault policy intervenes.
+    StallCheck(GroupId),
+    /// The backoff of the run in `slot` expires: resubmit its re-placed
+    /// shuffle remainder.
+    RetrySubmit(usize),
 }
 
 impl PartialEq for Timer {
@@ -272,6 +345,10 @@ struct ActiveRun {
     run: JobRun,
     arrived_s: f64,
     admitted_s: f64,
+    /// Stall interventions this job has absorbed so far.
+    attempts: u32,
+    /// A re-placed shuffle remainder waiting out its backoff.
+    retry: Option<(Vec<wanify_netsim::Transfer>, ConnMatrix)>,
 }
 
 /// The multi-tenant serving engine. See the module docs.
@@ -306,7 +383,8 @@ impl FleetEngine {
     ///
     /// # Panics
     ///
-    /// Panics if `config.max_concurrent` is 0.
+    /// Panics if `config.max_concurrent` is 0, or if a fault policy has a
+    /// non-positive stall timeout or a negative/non-finite backoff.
     pub fn new(
         sim: NetSim,
         scheduler: Box<dyn Scheduler>,
@@ -314,6 +392,18 @@ impl FleetEngine {
         config: FleetConfig,
     ) -> Self {
         assert!(config.max_concurrent >= 1, "admission limit must allow at least one query");
+        if let Some(policy) = &config.faults {
+            assert!(
+                policy.stall_timeout_s.is_finite() && policy.stall_timeout_s > 0.0,
+                "stall timeout must be finite and positive, got {}",
+                policy.stall_timeout_s
+            );
+            assert!(
+                policy.backoff_base_s.is_finite() && policy.backoff_base_s >= 0.0,
+                "backoff base must be finite and non-negative, got {}",
+                policy.backoff_base_s
+            );
+        }
         Self { engine: NetEngine::new(sim), scheduler, source, config, belief: None, gauges: 0 }
     }
 
@@ -375,6 +465,23 @@ pub(crate) fn poisson_arrival_times(
     Ok(times)
 }
 
+/// Validates an explicit arrival schedule: one finite non-negative time
+/// per job of the trace.
+pub(crate) fn validate_schedule(times: &[f64], jobs: usize) -> Result<(), WanifyError> {
+    if times.len() != jobs {
+        return Err(WanifyError::InvalidConfig(format!(
+            "arrival schedule covers {} jobs but the trace has {jobs}",
+            times.len()
+        )));
+    }
+    if let Some(t) = times.iter().find(|t| !(t.is_finite() && **t >= 0.0)) {
+        return Err(WanifyError::InvalidConfig(format!(
+            "arrival times must be finite and non-negative, got {t}"
+        )));
+    }
+    Ok(())
+}
+
 /// A fleet mid-flight: the resumable core behind [`FleetEngine::run`].
 ///
 /// [`FleetRun::start`] seeds the arrival timers; [`FleetRun::run_until`]
@@ -393,6 +500,9 @@ pub struct FleetRun {
     pending: VecDeque<(usize, f64)>,
     slots: Vec<Option<ActiveRun>>,
     group_owner: HashMap<GroupId, usize>,
+    /// Stalled groups already holding a pending [`TimerKind::StallCheck`].
+    stall_watch: HashSet<GroupId>,
+    counters: FaultCounters,
     running: usize,
     outcomes: Vec<JobOutcome>,
     first_arrival_s: f64,
@@ -434,6 +544,8 @@ impl FleetRun {
             pending: VecDeque::new(),
             slots: Vec::new(),
             group_owner: HashMap::new(),
+            stall_watch: HashSet::new(),
+            counters: FaultCounters::default(),
             running: 0,
             outcomes: Vec::with_capacity(jobs.len()),
             first_arrival_s: f64::INFINITY,
@@ -447,6 +559,12 @@ impl FleetRun {
             Arrivals::Poisson { rate_per_s, seed } => {
                 let times = poisson_arrival_times(run.jobs.len(), *rate_per_s, *seed)?;
                 for (idx, t) in times.into_iter().enumerate() {
+                    run.push_timer(t, TimerKind::Arrival(idx));
+                }
+            }
+            Arrivals::Scheduled { times } => {
+                validate_schedule(times, run.jobs.len())?;
+                for (idx, &t) in times.iter().enumerate() {
                     run.push_timer(t, TimerKind::Arrival(idx));
                 }
             }
@@ -497,6 +615,8 @@ impl FleetRun {
             pending: VecDeque::new(),
             slots: Vec::new(),
             group_owner: HashMap::new(),
+            stall_watch: HashSet::new(),
+            counters: FaultCounters::default(),
             running: 0,
             outcomes: Vec::with_capacity(jobs.len()),
             first_arrival_s: f64::INFINITY,
@@ -572,6 +692,27 @@ impl FleetRun {
                             );
                         self.dispatch(slot, step);
                     }
+                    TimerKind::StallCheck(gid) => {
+                        self.stall_watch.remove(&gid);
+                        // Only intervene if the group is still in flight
+                        // and still rate-zero: a fault that healed inside
+                        // the grace period needs no recovery.
+                        if self.group_owner.contains_key(&gid)
+                            && self.fleet.engine.is_group_stalled(gid)
+                        {
+                            self.recover_stalled(gid);
+                        }
+                    }
+                    TimerKind::RetrySubmit(slot) => {
+                        let (transfers, conns) = self.slots[slot]
+                            .as_mut()
+                            .expect("retry timer for a live run")
+                            .retry
+                            .take()
+                            .expect("retry payload stashed at cancel");
+                        let id = self.fleet.engine.submit(&transfers, &conns);
+                        self.group_owner.insert(id, slot);
+                    }
                 }
             }
 
@@ -604,19 +745,39 @@ impl FleetRun {
             if self.fleet.engine.is_idle() && next_timer_s.is_infinite() {
                 return Err(self.stall_error("fleet stalled"));
             }
-            let events = self.fleet.engine.advance_until(next_timer_s.min(deadline_s));
+            // Under a fault policy the engine must not barrel through an
+            // outage unobserved (with no timer pending, an unbounded
+            // advance would jump the fault boundaries internally and only
+            // return at the next completion). Cap each advance at one
+            // stall timeout so stalled groups are noticed — in simulated
+            // time, so the cadence is deterministic.
+            let mut engine_deadline_s = next_timer_s.min(deadline_s);
+            if let Some(policy) = &self.fleet.config.faults {
+                if !self.fleet.engine.is_idle() {
+                    engine_deadline_s = engine_deadline_s.min(now + policy.stall_timeout_s);
+                }
+            }
+            let events = self.fleet.engine.advance_until(engine_deadline_s);
+            // With a fault policy, put newly rate-zero groups under watch
+            // (each gets one StallCheck timer at now + stall_timeout_s).
+            if self.fleet.config.faults.is_some() {
+                self.watch_stalls();
+            }
             if events.is_empty()
-                && next_timer_s.is_infinite()
+                && self.timers.is_empty()
                 && !self.fleet.engine.is_idle()
                 && !self.fleet.engine.has_live_flows()
+                && !self.fleet.engine.sim().has_pending_faults()
             {
-                // No timer to wake us, groups in flight, and every
-                // remaining flow is rate-zero (e.g. a 0-Mbps throttle on
-                // a shuffled pair): no amount of stepping will ever drain
-                // them. Surface the stall instead of spinning forever.
-                // (An empty result with *live* flows just means the
-                // engine's per-call epoch budget ran out on a slow
-                // transfer; the next iteration keeps advancing it.)
+                // No timer to wake us (watch_stalls would have armed one
+                // under a fault policy), no scheduled fault that could
+                // restore rates, groups in flight, and every remaining
+                // flow is rate-zero (e.g. a 0-Mbps throttle on a shuffled
+                // pair): no amount of stepping will ever drain them.
+                // Surface the stall instead of spinning forever. (An
+                // empty result with *live* flows just means the engine's
+                // per-call epoch budget ran out on a slow transfer; the
+                // next iteration keeps advancing it.)
                 return Err(
                     self.stall_error("fleet stalled: in-flight transfers cannot make progress")
                 );
@@ -641,12 +802,15 @@ impl FleetRun {
         } else {
             0.0
         };
+        let mut counters = self.counters;
+        counters.degraded_s = self.fleet.engine.sim().degraded_s();
         FleetReport::new(
             self.outcomes,
             duration_s,
             self.fleet.gauges,
             self.fleet.scheduler.name().to_string(),
             self.fleet.source.name().to_string(),
+            counters,
         )
     }
 
@@ -711,7 +875,7 @@ impl FleetRun {
             fleet.config.conns.clone(),
         )?;
         let admitted_s = fleet.engine.sim().time_s();
-        let active = ActiveRun { run, arrived_s, admitted_s };
+        let active = ActiveRun { run, arrived_s, admitted_s, attempts: 0, retry: None };
         let slot = self.slots.iter().position(Option::is_none).unwrap_or_else(|| {
             self.slots.push(None);
             self.slots.len() - 1
@@ -740,8 +904,88 @@ impl FleetRun {
                     arrived_s: active.arrived_s,
                     admitted_s: active.admitted_s,
                     completed_s: now,
+                    failed: false,
                 });
             }
+            JobStep::Failed(report) => {
+                let active = self.slots[slot].take().expect("finalizing a live run");
+                self.running -= 1;
+                self.outcomes.push(JobOutcome {
+                    report: *report,
+                    arrived_s: active.arrived_s,
+                    admitted_s: active.admitted_s,
+                    completed_s: now,
+                    failed: true,
+                });
+            }
+        }
+    }
+
+    /// Puts every newly stalled, owned group under a stall-timeout watch.
+    fn watch_stalls(&mut self) {
+        let timeout_s = match &self.fleet.config.faults {
+            Some(policy) => policy.stall_timeout_s,
+            None => return,
+        };
+        let now = self.fleet.engine.sim().time_s();
+        for gid in self.fleet.engine.stalled_groups() {
+            if self.group_owner.contains_key(&gid) && self.stall_watch.insert(gid) {
+                self.push_timer(now + timeout_s, TimerKind::StallCheck(gid));
+            }
+        }
+    }
+
+    /// Fault-policy intervention on a group that outlived its stall grace
+    /// period: cancel it, and either abort the job (retries exhausted) or
+    /// re-place the dead-destination remainder and schedule a backed-off
+    /// resubmit.
+    fn recover_stalled(&mut self, gid: GroupId) {
+        let policy = self.fleet.config.faults.expect("stall timers only exist under a policy");
+        let slot = self.group_owner.remove(&gid).expect("checked by the caller");
+        let (partial, remaining) =
+            self.fleet.engine.cancel_group(gid).expect("a stalled group is in flight");
+        self.counters.stalled_flows += remaining.len() as u64;
+        let attempts = {
+            let active = self.slots[slot].as_mut().expect("stalled group has a live owner");
+            active.attempts += 1;
+            active.attempts
+        };
+        if attempts > policy.max_retries {
+            self.counters.failed_jobs += 1;
+            let step = self.slots[slot]
+                .as_mut()
+                .expect("stalled group has a live owner")
+                .run
+                .abort(&partial, self.fleet.engine.sim().topology());
+            self.dispatch(slot, step);
+            return;
+        }
+        self.counters.retries += 1;
+        let up = self.fleet.engine.sim().dcs_up();
+        let (step, redirected) = self.slots[slot]
+            .as_mut()
+            .expect("stalled group has a live owner")
+            .run
+            .on_shuffle_stalled(
+                &partial,
+                &remaining,
+                &up,
+                self.fleet.scheduler.as_ref(),
+                self.fleet.engine.sim().topology(),
+            );
+        self.counters.replacements += redirected;
+        match step {
+            JobStep::Shuffle { transfers, conns, migration: _ } => {
+                // Exponential backoff: 1st retry waits base, then 2×, 4×…
+                let backoff_s = policy.backoff_base_s * 2f64.powi(attempts as i32 - 1);
+                let now = self.fleet.engine.sim().time_s();
+                self.slots[slot].as_mut().expect("stalled group has a live owner").retry =
+                    Some((transfers, conns));
+                self.push_timer(now + backoff_s, TimerKind::RetrySubmit(slot));
+            }
+            // Every surviving byte re-placed onto its own source: the
+            // shuffle resolved locally and the job continues at once.
+            other => self.dispatch(slot, other),
         }
     }
 }
@@ -901,6 +1145,138 @@ mod tests {
         .run(&[small_job(3, 2.0, "stuck")], &Arrivals::Closed { clients: 1, think_s: 0.0 })
         .unwrap_err();
         assert!(matches!(err, WanifyError::InvalidConfig(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn dc_outage_recovers_via_retry_and_replacement() {
+        use wanify_netsim::{DcId, FaultSchedule};
+        // DC1 is dark from t = 0 to t = 20: the uniform shuffle's alive
+        // pairs drain, the rest stall, the policy cancels + re-places,
+        // and the healed WAN drains the resubmitted remainder.
+        let mut s = sim(3, 11);
+        s.set_fault_schedule(FaultSchedule::new().dc_outage(DcId(1), 0.0, 20.0));
+        let config = FleetConfig {
+            faults: Some(FaultPolicy { stall_timeout_s: 5.0, max_retries: 5, backoff_base_s: 5.0 }),
+            ..FleetConfig::default()
+        };
+        let report = FleetEngine::new(
+            s,
+            Box::new(VanillaSpark::new()),
+            Box::new(Pregauged::new(BwMatrix::filled(3, 300.0))),
+            config,
+        )
+        .run(&[small_job(3, 0.6, "flaky")], &Arrivals::Closed { clients: 1, think_s: 0.0 })
+        .unwrap();
+        assert_eq!(report.outcomes.len(), 1);
+        assert!(!report.outcomes[0].failed, "the job must recover, not fail");
+        assert_eq!(report.failed_jobs(), 0);
+        assert!(report.faults.retries >= 1, "stall must trigger a retry: {:?}", report.faults);
+        assert!(report.faults.stalled_flows >= 1, "{:?}", report.faults);
+        assert!(
+            report.faults.replacements >= 1,
+            "dead-destination transfers must re-place: {:?}",
+            report.faults
+        );
+        assert!(report.faults.degraded_s > 0.0, "{:?}", report.faults);
+        assert_eq!(report.faults.failed_jobs, 0);
+    }
+
+    #[test]
+    fn permanent_outage_fails_the_job_with_partial_accounting() {
+        use wanify_netsim::{DcId, FaultKind, FaultSchedule};
+        // DC1 never comes back: transfers sourced there are unreachable
+        // forever, so the job must be aborted after max_retries — not
+        // wedge the fleet, not error the run.
+        let mut s = sim(3, 12);
+        s.set_fault_schedule(FaultSchedule::new().at(0.0, FaultKind::DcDown(DcId(1))));
+        let config = FleetConfig {
+            faults: Some(FaultPolicy { stall_timeout_s: 2.0, max_retries: 2, backoff_base_s: 2.0 }),
+            ..FleetConfig::default()
+        };
+        let report = FleetEngine::new(
+            s,
+            Box::new(VanillaSpark::new()),
+            Box::new(Pregauged::new(BwMatrix::filled(3, 300.0))),
+            config,
+        )
+        .run(&[small_job(3, 0.6, "doomed")], &Arrivals::Closed { clients: 1, think_s: 0.0 })
+        .unwrap();
+        assert_eq!(report.outcomes.len(), 1);
+        assert!(report.outcomes[0].failed);
+        assert_eq!(report.failed_jobs(), 1);
+        assert_eq!(report.faults.failed_jobs, 1);
+        assert_eq!(report.faults.retries, 2, "both allowed retries were spent");
+        let r = &report.outcomes[0].report;
+        assert!(r.latency_s > 0.0, "partial accounting still carries elapsed time");
+        assert!(r.egress_gb.iter().sum::<f64>() > 0.0, "the alive pairs did move data");
+    }
+
+    #[test]
+    fn faulted_fleet_is_deterministic() {
+        use wanify_netsim::{DcId, FaultSchedule};
+        let jobs: Vec<JobProfile> =
+            (0..4).map(|i| small_job(3, 0.5 + 0.25 * i as f64, &format!("f{i}"))).collect();
+        let run = || {
+            let mut s = sim(3, 13);
+            s.set_fault_schedule(FaultSchedule::new().dc_outage(DcId(2), 3.0, 18.0).link_flap(
+                DcId(0),
+                DcId(1),
+                0.3,
+                1.0,
+                4.0,
+                3,
+            ));
+            FleetEngine::new(
+                s,
+                Box::new(VanillaSpark::new()),
+                Box::new(Pregauged::new(BwMatrix::filled(3, 300.0))),
+                FleetConfig { faults: Some(FaultPolicy::default()), ..FleetConfig::default() },
+            )
+            .run(&jobs, &Arrivals::Scheduled { times: vec![0.0, 1.0, 1.0, 6.0] })
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.outcomes.len(), b.outcomes.len());
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.report.latency_s.to_bits(), y.report.latency_s.to_bits());
+            assert_eq!(x.completed_s.to_bits(), y.completed_s.to_bits());
+            assert_eq!(x.failed, y.failed);
+        }
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.faults.degraded_s.to_bits(), b.faults.degraded_s.to_bits());
+    }
+
+    #[test]
+    fn scheduled_arrivals_fire_at_their_times() {
+        let jobs: Vec<JobProfile> = (0..3).map(|i| small_job(3, 1.0, &format!("t{i}"))).collect();
+        // Pregauged belief: admission costs no simulated time, so the
+        // arrival timestamps land exactly on the schedule.
+        let report = FleetEngine::new(
+            sim(3, 14),
+            Box::new(Tetrium::new()),
+            Box::new(Pregauged::new(BwMatrix::filled(3, 300.0))),
+            FleetConfig::default(),
+        )
+        .run(&jobs, &Arrivals::Scheduled { times: vec![0.0, 5.0, 5.0] })
+        .unwrap();
+        assert_eq!(report.outcomes.len(), 3);
+        let mut arrived: Vec<f64> = report.outcomes.iter().map(|o| o.arrived_s).collect();
+        arrived.sort_by(f64::total_cmp);
+        assert_eq!(arrived, vec![0.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn invalid_arrival_schedules_are_rejected() {
+        let jobs: Vec<JobProfile> = (0..2).map(|i| small_job(3, 1.0, &format!("v{i}"))).collect();
+        let err = fleet(3, 15, FleetConfig::default())
+            .run(&jobs, &Arrivals::Scheduled { times: vec![0.0] })
+            .unwrap_err();
+        assert!(matches!(err, WanifyError::InvalidConfig(_)));
+        let err = fleet(3, 15, FleetConfig::default())
+            .run(&jobs, &Arrivals::Scheduled { times: vec![0.0, f64::NAN] })
+            .unwrap_err();
+        assert!(matches!(err, WanifyError::InvalidConfig(_)));
     }
 
     #[test]

@@ -300,6 +300,20 @@ impl ShardedFleetEngine {
                     runs.push(FleetRun::start_at(engine, shard_jobs, shard_times)?);
                 }
             }
+            Arrivals::Scheduled { times } => {
+                // Explicit schedules thin exactly like a Poisson stream:
+                // each job's arrival time travels with it to its shard.
+                fleet::validate_schedule(times, jobs.len())?;
+                let mut per_shard_times: Vec<Vec<f64>> = vec![Vec::new(); n_shards];
+                for (idx, &t) in times.iter().enumerate() {
+                    per_shard_times[shard_of_idx[idx]].push(t);
+                }
+                for (engine, (shard_jobs, shard_times)) in
+                    self.shards.into_iter().zip(per_shard_jobs.into_iter().zip(per_shard_times))
+                {
+                    runs.push(FleetRun::start_at(engine, shard_jobs, shard_times)?);
+                }
+            }
             Arrivals::Closed { clients, think_s } => {
                 if *clients == 0 {
                     return Err(WanifyError::InvalidConfig(
@@ -405,12 +419,24 @@ fn merge_reports(per_shard: &[FleetReport]) -> FleetReport {
         last_completion - first_arrival
     };
     let gauges = per_shard.iter().map(|r| r.gauges).sum();
+    // Event counters sum across shards; degraded time does not — every
+    // shard replicates the same WAN (and fault schedule), so summing
+    // would multiply one outage by the shard count.
+    let mut faults = crate::fleet::FaultCounters::default();
+    for r in per_shard {
+        faults.stalled_flows += r.faults.stalled_flows;
+        faults.retries += r.faults.retries;
+        faults.replacements += r.faults.replacements;
+        faults.failed_jobs += r.faults.failed_jobs;
+        faults.degraded_s = faults.degraded_s.max(r.faults.degraded_s);
+    }
     FleetReport::new(
         outcomes,
         duration_s,
         gauges,
         per_shard.first().map_or_else(String::new, |r| r.scheduler.clone()),
         per_shard.first().map_or_else(String::new, |r| r.belief.clone()),
+        faults,
     )
 }
 

@@ -97,7 +97,12 @@ fn check_parity(
         sim(n, seed),
         scheduler(sched_id),
         Box::new(Pregauged::new(bw)),
-        FleetConfig { max_concurrent: 1, regauge_every_s: f64::INFINITY, conns: Some(conns) },
+        FleetConfig {
+            max_concurrent: 1,
+            regauge_every_s: f64::INFINITY,
+            conns: Some(conns),
+            faults: None,
+        },
     )
     .run(std::slice::from_ref(&job), &Arrivals::Closed { clients: 1, think_s: 0.0 })
     .unwrap();

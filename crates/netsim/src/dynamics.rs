@@ -144,6 +144,53 @@ mod tests {
     }
 
     #[test]
+    fn frozen_dynamics_consume_no_randomness() {
+        // The coalescing fast path requires sigma == 0 advances to leave
+        // the RNG untouched — otherwise jumped and stepped runs would
+        // diverge. shuffle_epoch must be equally inert.
+        let mut d = Dynamics::new(4, 0.0, 0.25);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut reference = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            d.advance(3.7, &mut rng);
+            d.shuffle_epoch(&mut rng);
+        }
+        assert_eq!(rng.gen::<u64>(), reference.gen::<u64>(), "frozen dynamics burned RNG state");
+    }
+
+    #[test]
+    fn is_frozen_is_consistent_after_shuffle_epoch() {
+        let mut frozen = Dynamics::new(3, 0.0, 0.25);
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!(frozen.is_frozen());
+        frozen.shuffle_epoch(&mut rng);
+        assert!(frozen.is_frozen(), "shuffling must not unfreeze");
+        for (_, _, m) in frozen.multipliers().iter_pairs() {
+            assert_eq!(m, 1.0, "frozen multipliers stay pinned through a shuffle");
+        }
+        let mut live = Dynamics::new(3, 0.2, 0.25);
+        assert!(!live.is_frozen());
+        live.shuffle_epoch(&mut rng);
+        assert!(!live.is_frozen(), "shuffling must not freeze live dynamics");
+    }
+
+    #[test]
+    fn multipliers_stay_positive_under_long_advances() {
+        // Volatile, weakly-reverting dynamics stepped for a long stretch:
+        // the clamp floor must keep every multiplier strictly positive
+        // (a zero multiplier would alias a fault-layer outage).
+        let mut d = Dynamics::new(4, 0.8, 0.01);
+        let mut rng = StdRng::seed_from_u64(9);
+        for step in 0..2_000 {
+            d.advance(if step % 3 == 0 { 10.0 } else { 0.25 }, &mut rng);
+            for (i, j, m) in d.multipliers().iter_pairs() {
+                assert!(m > 0.0, "multiplier ({i},{j}) = {m} not positive at step {step}");
+                assert!((MULT_MIN..=MULT_MAX).contains(&m), "({i},{j}) = {m} escaped clamp");
+            }
+        }
+    }
+
+    #[test]
     fn shuffle_epoch_changes_values() {
         let mut d = Dynamics::new(3, 0.1, 0.25);
         let mut rng = StdRng::seed_from_u64(5);

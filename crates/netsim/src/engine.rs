@@ -72,6 +72,10 @@ struct GroupState {
     /// Whether any transfer carried a strictly positive payload (drives
     /// the one-epoch makespan floor, as in `run_transfers`).
     any_payload: bool,
+    /// Whether the group's pairs have been through at least one fairness
+    /// solve — before that, zero quotas mean "not rated yet", not
+    /// "stalled".
+    solved: bool,
 }
 
 /// The resumable multi-tenant transfer engine. See the module docs.
@@ -161,6 +165,55 @@ impl NetEngine {
         self.groups.iter().any(|g| g.pairs.iter().any(|p| p.active && p.quota > 0.0))
     }
 
+    /// Groups whose every remaining pair held a zero rate at the last
+    /// fairness solve — e.g. because a fault downed a DC they must cross.
+    /// Such a group cannot progress until rates change (a fault heals, a
+    /// throttle lifts) or a caller re-routes it via
+    /// [`NetEngine::cancel_group`]. Freshly submitted groups that have not
+    /// been through a solve yet are never reported. Ids come out in
+    /// submission order.
+    pub fn stalled_groups(&self) -> Vec<GroupId> {
+        self.groups
+            .iter()
+            .filter(|g| g.solved && g.pairs.iter().all(|p| !p.active || p.quota <= 0.0))
+            .map(|g| g.id)
+            .collect()
+    }
+
+    /// Whether the given in-flight group is stalled per
+    /// [`NetEngine::stalled_groups`] (false for unknown/completed ids).
+    pub fn is_group_stalled(&self, id: GroupId) -> bool {
+        self.groups
+            .iter()
+            .any(|g| g.id == id && g.solved && g.pairs.iter().all(|p| !p.active || p.quota <= 0.0))
+    }
+
+    /// Cancels an in-flight group: folds its accounting at the current
+    /// simulation time and returns the partial [`GroupReport`] plus one
+    /// [`Transfer`] per pair with undelivered payload, so a failure-aware
+    /// caller can re-place and resubmit the remainder. Time spent stalled
+    /// counts into the partial report's busy/makespan, as it would for a
+    /// pair that later drained. Returns `None` for unknown ids and for
+    /// groups that already completed (including instantly-completed groups
+    /// awaiting delivery — their report arrives via
+    /// [`NetEngine::advance_until`] as usual).
+    pub fn cancel_group(&mut self, id: GroupId) -> Option<(GroupReport, Vec<Transfer>)> {
+        let idx = self.groups.iter().position(|g| g.id == id)?;
+        let mut group = self.groups.remove(idx);
+        let dt = self.sim.params().epoch_dt_s.max(1e-3);
+        let now = self.sim.time_s();
+        let mut remaining = Vec::new();
+        for pair in &mut group.pairs {
+            pair.reanchor(dt);
+            if pair.active && pair.remaining > PAYLOAD_EPS_GB {
+                remaining.push(Transfer::new(DcId(pair.src), DcId(pair.dst), pair.remaining));
+            }
+            pair.active = false;
+        }
+        group.active_pairs = 0;
+        Some((Self::report(&group, dt, now), remaining))
+    }
+
     /// Cumulative engine statistics (also mirrored into
     /// [`NetSim::last_run_stats`] after every step).
     pub fn stats(&self) -> RunStats {
@@ -223,6 +276,7 @@ impl NetEngine {
                 active_pairs,
                 submitted_s: now,
                 any_payload,
+                solved: false,
             });
         }
         id
@@ -249,10 +303,15 @@ impl NetEngine {
         let mut epochs_this_call: usize = 0;
 
         while completed.is_empty() {
+            // Apply any fault events due at this solve point.
+            self.sim.poll_faults();
             let now = self.sim.time_s();
             if self.groups.is_empty() {
                 if deadline_s.is_finite() && deadline_s > now {
-                    self.sim.advance(deadline_s - now);
+                    // Idle jump: pause at each scheduled fault so the
+                    // fault state and degraded-time accounting stay exact
+                    // while no flows are in flight.
+                    self.sim.advance_through_faults(deadline_s);
                 }
                 break;
             }
@@ -291,6 +350,9 @@ impl NetEngine {
                     pair.quota = quota;
                 }
             }
+            for group in &mut self.groups {
+                group.solved = true;
+            }
 
             // Epochs to the next drain event (fast path) or exactly one
             // (per-epoch stepping under live dynamics).
@@ -306,6 +368,10 @@ impl NetEngine {
             } else {
                 1
             };
+            // Never jump past the next scheduled fault: it changes rates
+            // just like a drain does.
+            let k_fault = self.sim.epochs_until_next_fault(dt);
+            let k_step = k_drain.min(k_fault);
             // Whole epochs that fit before the caller's deadline.
             let k_deadline: u64 = if deadline_s.is_finite() {
                 ((deadline_s - now) / dt).floor() as u64
@@ -314,8 +380,16 @@ impl NetEngine {
             };
             let budget = (MAX_EPOCHS - epochs_this_call) as u64;
 
-            if k_drain <= k_deadline {
-                let k = k_drain.min(budget);
+            if fast && k_step == u64::MAX && !deadline_s.is_finite() {
+                // Permanent stall: no pair can ever drain (all rates are
+                // zero) and no scheduled fault will change that. Return
+                // empty instead of burning the epoch budget on no-payload
+                // epochs; callers tell this apart from slowness via
+                // `has_live_flows`.
+                break;
+            }
+            if k_step <= k_deadline {
+                let k = k_step.min(budget);
                 for &(g, p) in &self.flow_refs {
                     let group = &mut self.groups[g];
                     let pair = &mut group.pairs[p];
@@ -762,6 +836,119 @@ mod tests {
             constrained.makespan_s,
             unconstrained.makespan_s
         );
+    }
+
+    #[test]
+    fn engine_fault_parity_with_run_transfers() {
+        // A lone group stepped through an outage + flap timeline must stay
+        // bit-identical to the blocking transfer loop on the same schedule.
+        let schedule = || {
+            crate::faults::FaultSchedule::new().dc_outage(DcId(2), 2.0, 8.0).link_flap(
+                DcId(0),
+                DcId(1),
+                0.5,
+                1.0,
+                4.0,
+                2,
+            )
+        };
+        let transfers =
+            [Transfer::new(DcId(0), DcId(1), 12.0), Transfer::new(DcId(0), DcId(2), 3.0)];
+        let conns = ConnMatrix::filled(3, 2);
+
+        let mut sim = sim3();
+        sim.set_fault_schedule(schedule());
+        let blocking = sim.run_transfers(&transfers, &conns, None);
+
+        let mut faulted_sim = sim3();
+        faulted_sim.set_fault_schedule(schedule());
+        let mut engine = NetEngine::new(faulted_sim);
+        engine.submit(&transfers, &conns);
+        let reports = drive_to_completion(&mut engine);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].makespan_s.to_bits(), blocking.makespan_s.to_bits());
+        assert_eq!(reports[0].min_pair_bw_mbps.to_bits(), blocking.min_pair_bw_mbps.to_bits());
+        for (a, b) in reports[0].egress_gigabits.iter().zip(&blocking.egress_gigabits) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(engine.sim().degraded_s().to_bits(), sim.degraded_s().to_bits());
+    }
+
+    #[test]
+    fn outage_mid_flight_stalls_then_recovery_completes() {
+        let conns = ConnMatrix::filled(3, 1);
+        let mut sim = sim3();
+        sim.set_fault_schedule(crate::faults::FaultSchedule::new().dc_outage(DcId(1), 1.0, 25.0));
+        let mut engine = NetEngine::new(sim);
+        let id = engine.submit(&[Transfer::new(DcId(0), DcId(1), 2.0)], &conns);
+        // Mid-outage the group is stalled but not dead: recovery pends.
+        let none = engine.advance_until(10.0);
+        assert!(none.is_empty());
+        assert!(engine.is_group_stalled(id), "outage must stall the group");
+        assert_eq!(engine.stalled_groups(), vec![id]);
+        assert!(!engine.has_live_flows());
+        assert!(engine.sim().has_pending_faults(), "recovery is still scheduled");
+        // Recovery drains it without any caller intervention.
+        let reports = drive_to_completion(&mut engine);
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].completed_s > 25.0, "completed at {}", reports[0].completed_s);
+        assert!(!engine.is_group_stalled(id));
+    }
+
+    #[test]
+    fn permanent_outage_returns_empty_without_burning_the_epoch_budget() {
+        let conns = ConnMatrix::filled(3, 1);
+        let mut sim = sim3();
+        sim.set_fault_schedule(
+            crate::faults::FaultSchedule::new().at(0.5, crate::faults::FaultKind::DcDown(DcId(1))),
+        );
+        let mut engine = NetEngine::new(sim);
+        let id = engine.submit(&[Transfer::new(DcId(0), DcId(1), 2.0)], &conns);
+        let none = engine.advance_until(f64::INFINITY);
+        assert!(none.is_empty());
+        assert!(!engine.is_idle());
+        assert!(!engine.has_live_flows());
+        assert!(engine.is_group_stalled(id));
+        assert!(!engine.sim().has_pending_faults(), "nothing left to heal the pair");
+        assert!(
+            engine.stats().epochs < 10_000,
+            "dead-stall break must not serve empty epochs: {}",
+            engine.stats().epochs
+        );
+    }
+
+    #[test]
+    fn cancel_group_returns_partial_accounting_and_remainder() {
+        let conns = ConnMatrix::filled(3, 1);
+        let mut sim = sim3();
+        sim.set_fault_schedule(
+            crate::faults::FaultSchedule::new().at(2.0, crate::faults::FaultKind::DcDown(DcId(1))),
+        );
+        let mut engine = NetEngine::new(sim);
+        let id = engine.submit(&[Transfer::new(DcId(0), DcId(1), 8.0)], &conns);
+        let _ = engine.advance_until(10.0);
+        assert!(engine.is_group_stalled(id));
+        let (partial, remaining) = engine.cancel_group(id).expect("group is in flight");
+        assert_eq!(partial.group, id);
+        assert_eq!(remaining.len(), 1, "one pair still holds payload");
+        let left = remaining[0].gigabits;
+        let moved = partial.egress_gigabits[0];
+        assert!(moved > 0.0, "2 s of healthy transfer moved something");
+        assert!((moved + left - 8.0).abs() < 1e-6, "cancel conserves payload: {moved} + {left}");
+        assert!(engine.is_idle(), "cancel removed the only group");
+        assert!(engine.cancel_group(id).is_none(), "double cancel is a no-op");
+    }
+
+    #[test]
+    fn idle_jumps_keep_degraded_time_exact() {
+        let mut sim = sim3();
+        sim.set_fault_schedule(crate::faults::FaultSchedule::new().dc_outage(DcId(0), 5.0, 9.0));
+        let mut engine = NetEngine::new(sim);
+        let none = engine.advance_until(20.0);
+        assert!(none.is_empty());
+        assert!((engine.sim().time_s() - 20.0).abs() < 1e-9);
+        assert!((engine.sim().degraded_s() - 4.0).abs() < 1e-9, "{}", engine.sim().degraded_s());
+        assert!(!engine.sim().fault_degraded());
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod backbone;
 pub mod dynamics;
 pub mod engine;
 pub mod fairness;
+pub mod faults;
 pub mod flow;
 pub mod geo;
 pub mod grid;
@@ -80,6 +81,7 @@ pub use backbone::Backbone;
 pub use dynamics::Dynamics;
 pub use engine::{GroupId, GroupReport, NetEngine};
 pub use fairness::{allocate_max_min, FairnessProblem, FairnessWorkspace, ResourceKind};
+pub use faults::{FaultEvent, FaultKind, FaultSchedule};
 pub use flow::{FlowId, FlowSpec, Transfer, TransferReport};
 pub use geo::{haversine_miles, GeoPoint, Region};
 pub use grid::{BwMatrix, ConnMatrix, Grid};

@@ -24,6 +24,7 @@
 
 use crate::dynamics::Dynamics;
 use crate::fairness::{FairnessProblem, FairnessWorkspace, ResourceKind};
+use crate::faults::{ActiveFaults, FaultSchedule};
 use crate::flow::{FlowSpec, Transfer, TransferReport};
 use crate::grid::{BwMatrix, ConnMatrix, Grid};
 use crate::params::LinkModelParams;
@@ -237,6 +238,12 @@ pub struct NetSim {
     /// simulator is not a shard of a sharded fleet.
     backbone_caps: Grid<f64>,
     last_run_stats: RunStats,
+    /// Installed fault schedule plus live fault state; `None` until
+    /// [`NetSim::set_fault_schedule`], keeping fault-free runs bit-identical
+    /// to builds that predate the fault layer.
+    faults: Option<Box<ActiveFaults>>,
+    /// Total simulated seconds spent with any fault active.
+    degraded_s: f64,
 }
 
 impl NetSim {
@@ -253,6 +260,8 @@ impl NetSim {
             throttles: Grid::filled(n, f64::INFINITY),
             backbone_caps: Grid::filled(n, f64::INFINITY),
             last_run_stats: RunStats::default(),
+            faults: None,
+            degraded_s: 0.0,
         }
     }
 
@@ -336,10 +345,118 @@ impl NetSim {
         &self.backbone_caps
     }
 
+    /// Installs a [`FaultSchedule`]: events fire at the first solve point
+    /// at or after their timestamp as the simulation advances, scaling
+    /// per-pair bandwidth multiplicatively (a downed DC zeroes every WAN
+    /// pair touching it). Replaces any prior schedule and resets the fault
+    /// state to healthy; event times are absolute simulation seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event names a DC outside the topology.
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        self.faults = Some(Box::new(ActiveFaults::install(schedule, self.topo.len())));
+    }
+
+    /// Applies every scheduled fault due at the current simulation time;
+    /// returns how many events fired. `run_transfers` and the multi-tenant
+    /// engine call this at every solve point; per-epoch reference loops
+    /// (and tests) may call it directly to mirror that cadence.
+    pub fn poll_faults(&mut self) -> usize {
+        let now = self.time_s;
+        self.faults.as_mut().map_or(0, |f| f.poll(now))
+    }
+
+    /// Timestamp of the next unapplied fault event, or `INFINITY`.
+    pub fn next_fault_s(&self) -> f64 {
+        self.faults.as_ref().map_or(f64::INFINITY, |f| f.next_at_s())
+    }
+
+    /// Whether any scheduled fault event has yet to fire. A stalled flow
+    /// with pending faults may still recover; without them it never will.
+    pub fn has_pending_faults(&self) -> bool {
+        self.next_fault_s().is_finite()
+    }
+
+    /// Effective fault factor of the directed WAN pair `(i, j)`:
+    /// 1.0 when healthy (or no schedule installed), 0.0 when either
+    /// endpoint is down, the product of link/straggler/global factors
+    /// otherwise. Intra-DC traffic is never faulted.
+    pub fn fault_factor(&self, i: usize, j: usize) -> f64 {
+        self.faults.as_ref().map_or(1.0, |f| f.state.factor(i, j))
+    }
+
+    /// Whether any fault is currently active.
+    pub fn fault_degraded(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.state.is_degraded())
+    }
+
+    /// Total simulated seconds spent with any fault active.
+    pub fn degraded_s(&self) -> f64 {
+        self.degraded_s
+    }
+
+    /// Whether the DC is currently up (always true without a schedule).
+    pub fn dc_is_up(&self, dc: DcId) -> bool {
+        self.faults.as_ref().is_none_or(|f| f.state.dc_is_up(dc.0))
+    }
+
+    /// Up/down status of every DC (all up without a schedule).
+    pub fn dcs_up(&self) -> Vec<bool> {
+        match &self.faults {
+            Some(f) => f.state.dcs_up().to_vec(),
+            None => vec![true; self.topo.len()],
+        }
+    }
+
+    /// Whole epochs of length `dt` the coalescing fast path may jump
+    /// without overshooting the next scheduled fault (≥ 1; `u64::MAX`
+    /// when no fault is pending). The bound lands exactly on the epoch
+    /// whose solve-point poll first sees the event, so coalesced jumps
+    /// apply faults at the same simulated epoch as per-epoch stepping.
+    pub(crate) fn epochs_until_next_fault(&self, dt: f64) -> u64 {
+        let next = self.next_fault_s();
+        if !next.is_finite() {
+            return u64::MAX;
+        }
+        let k = ((next - self.time_s - 1e-9) / dt).ceil();
+        if k <= 1.0 {
+            1
+        } else if k >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            k as u64
+        }
+    }
+
+    /// Advances to `until_s`, pausing at each scheduled fault time to
+    /// apply it, so idle jumps (no active flows) keep the fault state and
+    /// degraded-time accounting exact.
+    pub(crate) fn advance_through_faults(&mut self, until_s: f64) {
+        loop {
+            let next = self.next_fault_s();
+            if next > until_s {
+                break;
+            }
+            let dt = next - self.time_s;
+            if dt > 0.0 {
+                self.advance(dt);
+            }
+            self.poll_faults();
+        }
+        let dt = until_s - self.time_s;
+        if dt > 0.0 {
+            self.advance(dt);
+        }
+    }
+
     /// Advances wall-clock time and bandwidth dynamics by `dt_s` seconds.
     pub fn advance(&mut self, dt_s: f64) {
         self.dynamics.advance(dt_s, &mut self.rng);
         self.time_s += dt_s;
+        if self.fault_degraded() {
+            self.degraded_s += dt_s;
+        }
     }
 
     /// Jumps to an independent point in time (a different hour/day), as the
@@ -359,6 +476,7 @@ impl NetSim {
         let dist = self.topo.distance_miles(f.src, f.dst);
         let mut cap = f64::from(f.conns) * self.params.conn_cap_mbps(dist);
         cap *= self.dynamics.multiplier(f.src.0, f.dst.0);
+        cap *= self.fault_factor(f.src.0, f.dst.0);
         let src_provider = self.topo.dc(f.src).region.provider();
         let dst_provider = self.topo.dc(f.dst).region.provider();
         if src_provider != dst_provider {
@@ -489,7 +607,9 @@ impl NetSim {
                 let key = src * n + dst;
                 let members = &s.sd_flows[s.sd_offsets[key]..s.sd_offsets[key + 1]];
                 if !members.is_empty() {
-                    let cap = self.params.path_cap_mbps * self.dynamics.multiplier(src, dst);
+                    let cap = self.params.path_cap_mbps
+                        * self.dynamics.multiplier(src, dst)
+                        * self.fault_factor(src, dst);
                     s.problem.add_resource(ResourceKind::Path(src, dst), cap, members);
                 }
             }
@@ -586,6 +706,9 @@ impl NetSim {
         };
 
         while active_count > 0 && epochs < MAX_EPOCHS {
+            // Apply any fault events due at this solve point: rates below
+            // reflect the post-event network.
+            self.poll_faults();
             // Build the active flow set for this segment (reused buffers).
             flows.clear();
             flow_pairs.clear();
@@ -611,7 +734,8 @@ impl NetSim {
             }
 
             // Epochs to advance in one step: up to the next drain event on
-            // the fast path, exactly one otherwise.
+            // the fast path — never past the next scheduled fault, which
+            // changes rates just like a drain does — exactly one otherwise.
             let k: u64 = if fast {
                 let mut k = u64::MAX;
                 for &p in &flow_pairs {
@@ -620,7 +744,7 @@ impl NetSim {
                         k = k.min(m - pair.served);
                     }
                 }
-                k.min((MAX_EPOCHS - epochs) as u64).max(1)
+                k.min((MAX_EPOCHS - epochs) as u64).max(1).min(self.epochs_until_next_fault(dt))
             } else {
                 1
             };
@@ -1005,6 +1129,116 @@ mod tests {
                     "moved {moved} Gb vs requested {requested} Gb");
             }
         }
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_bit_identical_to_none() {
+        let transfers =
+            [Transfer::new(DcId(0), DcId(2), 8.0), Transfer::new(DcId(0), DcId(1), 3.0)];
+        let conns = ConnMatrix::filled(3, 2);
+        let mut plain = sim3();
+        let baseline = plain.run_transfers(&transfers, &conns, None);
+        let mut faulted = sim3();
+        faulted.set_fault_schedule(crate::faults::FaultSchedule::new());
+        let report = faulted.run_transfers(&transfers, &conns, None);
+        assert_eq!(report.makespan_s.to_bits(), baseline.makespan_s.to_bits());
+        assert_eq!(report.min_pair_bw_mbps.to_bits(), baseline.min_pair_bw_mbps.to_bits());
+        assert_eq!(report.epochs, baseline.epochs);
+        assert_eq!(faulted.degraded_s(), 0.0);
+    }
+
+    #[test]
+    fn dc_outage_stalls_the_pair_until_recovery() {
+        let transfers = [Transfer::new(DcId(0), DcId(1), 4.0)];
+        let conns = ConnMatrix::filled(3, 2);
+        let mut clean = sim3();
+        let fast = clean.run_transfers(&transfers, &conns, None);
+
+        let mut sim = sim3();
+        sim.set_fault_schedule(crate::faults::FaultSchedule::new().dc_outage(DcId(1), 1.0, 30.0));
+        let slow = sim.run_transfers(&transfers, &conns, None);
+        assert!(
+            slow.makespan_s > 29.0,
+            "payload must wait out the outage: {} vs clean {}",
+            slow.makespan_s,
+            fast.makespan_s
+        );
+        assert!((sim.degraded_s() - 29.0).abs() < 0.5, "degraded for ~29 s: {}", sim.degraded_s());
+        assert!(!sim.fault_degraded(), "outage healed by completion");
+        assert!(!sim.has_pending_faults());
+        // Payload is conserved through the stall.
+        let moved: f64 = slow.egress_gigabits.iter().sum();
+        assert!((moved - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn link_degradation_scales_the_ceiling() {
+        let mut sim = sim3();
+        let flow = [FlowSpec::new(DcId(0), DcId(1), 2)];
+        let healthy = sim.unreserved_ceiling_mbps(&flow[0]);
+        sim.set_fault_schedule(crate::faults::FaultSchedule::new().at(
+            0.0,
+            crate::faults::FaultKind::LinkFactor { src: DcId(0), dst: DcId(1), factor: 0.25 },
+        ));
+        sim.poll_faults();
+        let degraded = sim.unreserved_ceiling_mbps(&flow[0]);
+        assert!((degraded - 0.25 * healthy).abs() < 1e-9, "{degraded} vs {healthy}");
+        assert!(sim.fault_degraded());
+        assert!(sim.dc_is_up(DcId(0)) && sim.dc_is_up(DcId(1)));
+    }
+
+    #[test]
+    fn faulted_fast_path_matches_per_epoch_stepping() {
+        // The coalesced jump must clip at each fault event and land on the
+        // same epochs as per-epoch stepping (a Noop hook forces it).
+        struct Noop;
+        impl EpochHook for Noop {
+            fn on_epoch(&mut self, _ctx: &mut EpochCtx<'_>) {}
+        }
+        let schedule = || {
+            crate::faults::FaultSchedule::new()
+                .dc_outage(DcId(2), 3.0, 9.0)
+                .link_flap(DcId(0), DcId(1), 0.4, 2.0, 5.0, 3)
+                .straggler(DcId(1), 0.7, 12.0)
+                .diurnal(40.0, 0.6, 4, 1)
+        };
+        let transfers = [
+            Transfer::new(DcId(0), DcId(1), 10.0),
+            Transfer::new(DcId(0), DcId(2), 2.0),
+            Transfer::new(DcId(2), DcId(1), 1.0),
+        ];
+        let conns = ConnMatrix::filled(3, 2);
+        let mut coalesced = sim3();
+        coalesced.set_fault_schedule(schedule());
+        let a = coalesced.run_transfers(&transfers, &conns, None);
+        assert!(coalesced.last_run_stats().coalesced);
+        let mut stepped = sim3();
+        stepped.set_fault_schedule(schedule());
+        let b = stepped.run_transfers(&transfers, &conns, Some(&mut Noop));
+        assert!(!stepped.last_run_stats().coalesced);
+        assert_eq!(a.epochs, b.epochs);
+        assert_eq!(a.makespan_s.to_bits(), b.makespan_s.to_bits());
+        assert_eq!(a.min_pair_bw_mbps.to_bits(), b.min_pair_bw_mbps.to_bits());
+        for (x, y) in a.completion_s.iter().zip(&b.completion_s) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(coalesced.degraded_s().to_bits(), stepped.degraded_s().to_bits());
+    }
+
+    #[test]
+    fn faulted_runs_are_bit_identical_across_repeats() {
+        let run = || {
+            let mut sim = sim3();
+            sim.set_fault_schedule(
+                crate::faults::FaultSchedule::new()
+                    .dc_outage(DcId(1), 2.0, 12.0)
+                    .diurnal(30.0, 0.5, 6, 2),
+            );
+            let conns = ConnMatrix::filled(3, 1);
+            let r = sim.run_transfers(&[Transfer::new(DcId(0), DcId(1), 6.0)], &conns, None);
+            (r.makespan_s.to_bits(), sim.degraded_s().to_bits())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

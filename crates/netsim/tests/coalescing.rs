@@ -12,8 +12,8 @@
 use proptest::prelude::*;
 use wanify_netsim::sim::{MAX_EPOCHS, PAYLOAD_EPS_GB};
 use wanify_netsim::{
-    paper_testbed_n, BwMatrix, ConnMatrix, DcId, EpochCtx, EpochHook, FlowSpec, LinkModelParams,
-    NetSim, Transfer, TransferReport, VmType,
+    paper_testbed_n, BwMatrix, ConnMatrix, DcId, EpochCtx, EpochHook, FaultSchedule, FlowSpec,
+    LinkModelParams, NetSim, Transfer, TransferReport, VmType,
 };
 
 fn frozen_sim(n: usize, seed: u64) -> NetSim {
@@ -72,6 +72,9 @@ fn reference_run(sim: &mut NetSim, transfers: &[Transfer], conns: &ConnMatrix) -
     let dt = sim.params().epoch_dt_s.max(1e-3);
     let mut epochs = 0usize;
     while pairs.iter().any(|p| p.active) && epochs < MAX_EPOCHS {
+        // Fault events fire at solve points; the per-epoch reference has
+        // one per epoch (a no-op unless a schedule is installed).
+        sim.poll_faults();
         let flows: Vec<FlowSpec> = pairs
             .iter()
             .filter(|p| p.active)
@@ -265,7 +268,98 @@ fn hooks_see_every_epoch_even_when_coalescing_would_apply() {
     assert_eq!(sim.last_run_stats().solves, report.epochs as u64);
 }
 
+#[test]
+fn fault_timeline_stays_bit_identical_to_reference() {
+    // A compound fault timeline — outage, flap, straggler, diurnal wave —
+    // injected as coalesced rate-change events must land on exactly the
+    // epochs the per-second reference sees them at.
+    let schedule = || {
+        FaultSchedule::new()
+            .dc_outage(DcId(1), 4.0, 16.0)
+            .link_flap(DcId(0), DcId(2), 0.35, 1.0, 6.0, 4)
+            .straggler(DcId(2), 0.6, 20.0)
+            .straggler(DcId(2), 1.0, 35.0)
+            .diurnal(50.0, 0.5, 5, 1)
+    };
+    let transfers = [
+        Transfer::new(DcId(0), DcId(1), 9.0),
+        Transfer::new(DcId(0), DcId(2), 4.0),
+        Transfer::new(DcId(2), DcId(1), 2.0),
+        Transfer::new(DcId(1), DcId(0), 0.5),
+    ];
+    let conns = ConnMatrix::from_fn(3, |i, j| if i == j { 1 } else { 1 + (2 * i + j) as u32 });
+    let mut fast_sim = frozen_sim(3, 13);
+    fast_sim.set_fault_schedule(schedule());
+    let fast = fast_sim.run_transfers(&transfers, &conns, None);
+    let mut ref_sim = frozen_sim(3, 13);
+    ref_sim.set_fault_schedule(schedule());
+    let reference = reference_run(&mut ref_sim, &transfers, &conns);
+    assert!(fast_sim.last_run_stats().coalesced);
+    assert_reports_bit_identical(&fast, &reference);
+    assert_eq!(fast_sim.degraded_s().to_bits(), ref_sim.degraded_s().to_bits());
+    assert!(fast_sim.degraded_s() > 0.0, "the timeline must actually degrade the run");
+}
+
+/// One self-healing fault for the parity proptest: `(kind, dc_a, dc_b,
+/// start, duration, factor)` expands to an event plus its restoration, so
+/// the per-second reference never steps a permanently-stalled pair to the
+/// epoch cap.
+fn arb_fault_timeline() -> impl Strategy<Value = Vec<(u8, usize, usize, f64, f64, f64)>> {
+    proptest::collection::vec(
+        (0u8..4, 0usize..3, 0usize..3, 0.5f64..25.0, 1.0f64..12.0, 0.2f64..1.0),
+        0..5,
+    )
+}
+
+fn build_schedule(timeline: &[(u8, usize, usize, f64, f64, f64)]) -> FaultSchedule {
+    let mut s = FaultSchedule::new();
+    for &(kind, a, b, start, dur, factor) in timeline {
+        s = match kind {
+            0 => s.dc_outage(DcId(a), start, start + dur),
+            1 => {
+                let (src, dst) = (DcId(a), DcId(b));
+                s.at(start, wanify_netsim::FaultKind::LinkFactor { src, dst, factor })
+                    .at(start + dur, wanify_netsim::FaultKind::LinkFactor { src, dst, factor: 1.0 })
+            }
+            2 => s.straggler(DcId(a), factor, start).straggler(DcId(a), 1.0, start + dur),
+            _ => s
+                .at(start, wanify_netsim::FaultKind::GlobalFactor(factor))
+                .at(start + dur, wanify_netsim::FaultKind::GlobalFactor(1.0)),
+        };
+    }
+    s
+}
+
 proptest! {
+    #[test]
+    fn fault_event_parity_on_random_timelines(
+        payloads in proptest::collection::vec((0usize..3, 0usize..3, 0.0f64..4.0), 1..5),
+        timeline in arb_fault_timeline(),
+        seed in 0u64..500,
+    ) {
+        let transfers: Vec<Transfer> = payloads
+            .iter()
+            .map(|&(s, d, gb)| Transfer::new(DcId(s), DcId(d), gb))
+            .collect();
+        let conns = ConnMatrix::filled(3, 2);
+        let mut fast_sim = frozen_sim(3, seed);
+        fast_sim.set_fault_schedule(build_schedule(&timeline));
+        let fast = fast_sim.run_transfers(&transfers, &conns, None);
+        let mut ref_sim = frozen_sim(3, seed);
+        ref_sim.set_fault_schedule(build_schedule(&timeline));
+        let reference = reference_run(&mut ref_sim, &transfers, &conns);
+        prop_assert_eq!(fast.epochs, reference.epochs);
+        prop_assert_eq!(fast.makespan_s.to_bits(), reference.makespan_s.to_bits());
+        prop_assert_eq!(fast.min_pair_bw_mbps.to_bits(), reference.min_pair_bw_mbps.to_bits());
+        for (a, b) in fast.completion_s.iter().zip(&reference.completion_s) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in fast.egress_gigabits.iter().zip(&reference.egress_gigabits) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(fast_sim.degraded_s().to_bits(), ref_sim.degraded_s().to_bits());
+    }
+
     #[test]
     fn coalescing_parity_on_random_workloads(
         payloads in proptest::collection::vec((0usize..3, 0usize..3, 0.0f64..4.0), 1..7),

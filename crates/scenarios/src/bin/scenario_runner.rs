@@ -1,0 +1,98 @@
+//! Runs the fault-injection scenario suite and writes the committed
+//! report artifacts.
+//!
+//! ```text
+//! scenario_runner [--smoke] [--out PATH] [--digest PATH] [name...]
+//! ```
+//!
+//! * `--smoke`   — run only the two fastest scenarios (CI sanity lane).
+//! * `--out`     — write the markdown report (the committed copy lives
+//!   at `SCENARIOS.md`; CI regenerates it and fails on drift).
+//! * `--digest`  — write the bit-exact outcome digests (committed as
+//!   `SCENARIOS.digest`; the determinism matrix diffs it across
+//!   `RAYON_NUM_THREADS` values).
+//! * `name...`   — run only the named scenarios.
+//!
+//! Exits nonzero if any scenario's invariants fail, printing the
+//! offending checks.
+
+use wanify_scenarios::{catalog, render_digests, render_markdown, run_all};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let path_arg = |flag: &str| match args.iter().position(|a| a == flag) {
+        Some(i) => match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => Some(path.clone()),
+            _ => {
+                eprintln!("error: {flag} requires a path argument");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    let out = path_arg("--out");
+    let digest_path = path_arg("--digest");
+    let mut names: Vec<&str> = Vec::new();
+    let mut skip_next = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        match a.as_str() {
+            "--smoke" => {}
+            "--out" | "--digest" => skip_next = true,
+            "--help" | "-h" => usage(""),
+            other if other.starts_with("--") => usage(&format!("unknown flag {other}")),
+            other => {
+                let _ = i;
+                names.push(other);
+            }
+        }
+    }
+
+    let mut specs = catalog::all();
+    if !names.is_empty() {
+        let known: Vec<&str> = specs.iter().map(|s| s.name).collect();
+        for name in &names {
+            if !known.contains(name) {
+                usage(&format!("unknown scenario {name}; known: {}", known.join(" ")));
+            }
+        }
+        specs.retain(|s| names.contains(&s.name));
+    } else if smoke {
+        // The two cheapest studies: one recovery path, one failure path.
+        specs.retain(|s| s.name == "permanent-outage" || s.name == "link-flap");
+    }
+
+    let outcomes = run_all(&specs);
+    let md = render_markdown(&outcomes);
+    print!("{md}");
+    if let Some(path) = out {
+        std::fs::write(&path, &md).expect("write scenario report");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = digest_path {
+        std::fs::write(&path, render_digests(&outcomes)).expect("write scenario digests");
+        eprintln!("wrote {path}");
+    }
+
+    let failed: Vec<&str> = outcomes.iter().filter(|o| !o.passed()).map(|o| o.spec.name).collect();
+    if !failed.is_empty() {
+        eprintln!("scenario invariants failed: {}", failed.join(", "));
+        std::process::exit(1);
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: scenario_runner [--smoke] [--out PATH] [--digest PATH] [name...]\n\
+         scenarios: {}",
+        wanify_scenarios::all().iter().map(|s| s.name).collect::<Vec<_>>().join(" ")
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,510 @@
+//! Declarative scenario specs: topology + trace + faults + invariants.
+//!
+//! A [`ScenarioSpec`] is built fluently and composes everything one
+//! fault-injection study needs — the paper-testbed topology prefix, the
+//! deterministic mixed trace, the arrival process, the belief provenance
+//! and scheduler under test, a [`FaultSchedule`], the fleet's recovery
+//! [`FaultPolicy`], and the directional [`Invariant`]s the run must
+//! satisfy. Adding a scenario to the suite is ~20 lines of spec in
+//! [`crate::catalog`], not a new binary.
+
+use wanify::{BandwidthSource, MeasuredRuntime, Pregauged, StaticIndependent};
+use wanify_gda::{
+    Arrivals, FaultPolicy, FleetConfig, FleetEngine, FleetReport, JobProfile, Kimchi, Scheduler,
+    Tetrium, VanillaSpark,
+};
+use wanify_netsim::{
+    paper_testbed_n, Backbone, BwMatrix, FaultSchedule, LinkModelParams, NetSim, Topology, VmType,
+};
+use wanify_workloads::{mixed_trace, regional_mixed_trace, TraceConfig};
+
+/// Which bandwidth-belief provenance the fleet plans with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BeliefKind {
+    /// A pre-supplied uniform matrix (Mbps): gauging costs no simulated
+    /// time, so arrivals land exactly on schedule.
+    Pregauged(f64),
+    /// Per-pair independent static probes (the paper's classic baseline).
+    StaticIndependent,
+    /// Simultaneous runtime measurement over a probe window (seconds).
+    MeasuredRuntime(u32),
+}
+
+impl BeliefKind {
+    /// Builds the source for an `n`-DC fleet.
+    pub fn build(&self, n: usize) -> Box<dyn BandwidthSource> {
+        match *self {
+            BeliefKind::Pregauged(mbps) => Box::new(Pregauged::new(BwMatrix::filled(n, mbps))),
+            BeliefKind::StaticIndependent => Box::new(StaticIndependent::new()),
+            BeliefKind::MeasuredRuntime(probe_s) => Box::new(MeasuredRuntime::new(probe_s)),
+        }
+    }
+
+    /// Short human label for reports.
+    pub fn label(&self) -> String {
+        match *self {
+            BeliefKind::Pregauged(mbps) => format!("pregauged({mbps:.0} Mbps)"),
+            BeliefKind::StaticIndependent => "static-independent".to_string(),
+            BeliefKind::MeasuredRuntime(s) => format!("measured-runtime({s}s)"),
+        }
+    }
+}
+
+/// Which scheduler serves the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedKind {
+    /// Locality-aware maps, uniform reduces.
+    Vanilla,
+    /// Latency-optimal task + data placement.
+    Tetrium,
+    /// Network-cost-aware placement.
+    Kimchi,
+}
+
+impl SchedKind {
+    /// Builds the scheduler.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match self {
+            SchedKind::Vanilla => Box::new(VanillaSpark::new()),
+            SchedKind::Tetrium => Box::new(Tetrium::new()),
+            SchedKind::Kimchi => Box::new(Kimchi::new()),
+        }
+    }
+
+    /// Short human label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedKind::Vanilla => "vanilla-spark",
+            SchedKind::Tetrium => "tetrium",
+            SchedKind::Kimchi => "kimchi",
+        }
+    }
+}
+
+/// A directional property the scenario's (faulted, solo) run must hold.
+///
+/// Invariants are evaluated against the solo faulted [`FleetReport`];
+/// two of them additionally demand a counterfactual arm the runner
+/// executes on demand (a no-fault rerun, a static-belief rerun).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Invariant {
+    /// Every job of the trace completes and none is reported failed.
+    AllComplete,
+    /// At least this many jobs are aborted by the fault policy.
+    FailedAtLeast(u64),
+    /// At most this many jobs are aborted by the fault policy.
+    FailedAtMost(u64),
+    /// The fault policy performs at least this many retries.
+    RetriesAtLeast(u64),
+    /// The fault policy performs at most this many retries (0 = the
+    /// watchdog must never fire: the fault rides through on its own).
+    RetriesAtMost(u64),
+    /// At least this many transfers are re-placed to an alive DC.
+    ReplacementsAtLeast(u64),
+    /// Simulated seconds with any fault active lies in `[lo, hi]`.
+    DegradedBetween(f64, f64),
+    /// Faulted duration ≥ `factor` × the no-fault counterfactual's
+    /// duration (faults must cost simulated time, never save it).
+    SlowdownAtLeast(f64),
+    /// Makespan p99 ≤ `factor` × p50: degradation stays graceful, no
+    /// pathological tail.
+    TailWithin(f64),
+    /// Mean makespan under the spec's (runtime) belief ≤
+    /// `(1 + tolerance)` × mean makespan of a static-independent-belief
+    /// rerun — the paper's runtime-beats-static claim under faults.
+    RuntimeBeliefNoWorse(f64),
+}
+
+/// Inputs an [`Invariant::check`] can draw on.
+#[derive(Debug)]
+pub struct CheckCtx<'a> {
+    /// Jobs in the trace.
+    pub jobs: usize,
+    /// The solo faulted run.
+    pub solo: &'a FleetReport,
+    /// Duration of the no-fault counterfactual, when one was run.
+    pub nofault_duration_s: Option<f64>,
+    /// Mean makespan of the static-belief counterfactual, when run.
+    pub static_mean_makespan_s: Option<f64>,
+}
+
+/// Outcome of one invariant check.
+#[derive(Debug, Clone)]
+pub struct CheckResult {
+    /// What was asserted.
+    pub label: String,
+    /// Whether it held.
+    pub pass: bool,
+    /// The observed numbers behind the verdict.
+    pub detail: String,
+}
+
+impl Invariant {
+    /// Whether this invariant needs the no-fault counterfactual arm.
+    pub fn needs_nofault_arm(&self) -> bool {
+        matches!(self, Invariant::SlowdownAtLeast(_))
+    }
+
+    /// Whether this invariant needs the static-belief counterfactual arm.
+    pub fn needs_static_arm(&self) -> bool {
+        matches!(self, Invariant::RuntimeBeliefNoWorse(_))
+    }
+
+    /// Evaluates the invariant.
+    pub fn check(&self, ctx: &CheckCtx) -> CheckResult {
+        let f = &ctx.solo.faults;
+        let (label, pass, detail) = match *self {
+            Invariant::AllComplete => (
+                format!("all {} jobs complete, none failed", ctx.jobs),
+                ctx.solo.outcomes.len() == ctx.jobs && ctx.solo.failed_jobs() == 0,
+                format!("completed={} failed={}", ctx.solo.outcomes.len(), ctx.solo.failed_jobs()),
+            ),
+            Invariant::FailedAtLeast(n) => (
+                format!("≥ {n} job(s) aborted by the fault policy"),
+                f.failed_jobs >= n,
+                format!("failed_jobs={}", f.failed_jobs),
+            ),
+            Invariant::FailedAtMost(n) => (
+                format!("≤ {n} job(s) aborted by the fault policy"),
+                f.failed_jobs <= n,
+                format!("failed_jobs={}", f.failed_jobs),
+            ),
+            Invariant::RetriesAtLeast(n) => (
+                format!("≥ {n} stall retr{}", if n == 1 { "y" } else { "ies" }),
+                f.retries >= n,
+                format!("retries={}", f.retries),
+            ),
+            Invariant::RetriesAtMost(n) => (
+                format!("≤ {n} stall retr{}", if n == 1 { "y" } else { "ies" }),
+                f.retries <= n,
+                format!("retries={}", f.retries),
+            ),
+            Invariant::ReplacementsAtLeast(n) => (
+                format!("≥ {n} transfer(s) re-placed to an alive DC"),
+                f.replacements >= n,
+                format!("replacements={}", f.replacements),
+            ),
+            Invariant::DegradedBetween(lo, hi) => (
+                format!("degraded time in [{lo:.0}, {hi:.0}] s"),
+                (lo..=hi).contains(&f.degraded_s),
+                format!("degraded_s={:.2}", f.degraded_s),
+            ),
+            Invariant::SlowdownAtLeast(factor) => {
+                let base = ctx.nofault_duration_s.expect("runner provides the no-fault arm");
+                (
+                    format!("faults slow the fleet ≥ {factor:.2}x vs no-fault"),
+                    ctx.solo.duration_s >= factor * base,
+                    format!(
+                        "faulted={:.2}s nofault={:.2}s ratio={:.2}",
+                        ctx.solo.duration_s,
+                        base,
+                        ctx.solo.duration_s / base.max(1e-12)
+                    ),
+                )
+            }
+            Invariant::TailWithin(factor) => {
+                let m = ctx.solo.makespan();
+                (
+                    format!("makespan p99 ≤ {factor:.1}x p50 (graceful tail)"),
+                    m.p99 <= factor * m.p50,
+                    format!(
+                        "p50={:.2}s p99={:.2}s ratio={:.2}",
+                        m.p50,
+                        m.p99,
+                        m.p99 / m.p50.max(1e-12)
+                    ),
+                )
+            }
+            Invariant::RuntimeBeliefNoWorse(tol) => {
+                let stat =
+                    ctx.static_mean_makespan_s.expect("runner provides the static-belief arm");
+                let mine = ctx.solo.makespan().mean;
+                (
+                    format!("runtime belief ≤ {:.0}% worse than static belief", tol * 100.0),
+                    mine <= (1.0 + tol) * stat,
+                    format!("runtime-mean={mine:.2}s static-mean={stat:.2}s"),
+                )
+            }
+        };
+        CheckResult { label, pass, detail }
+    }
+}
+
+/// One declarative fault-injection scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Unique kebab-case id (the `scenario:<name>` experiment key).
+    pub name: &'static str,
+    /// One-sentence story of what the scenario exercises.
+    pub summary: &'static str,
+    /// Paper-testbed prefix size (2..=8 DCs).
+    pub n_dcs: usize,
+    /// Jobs in the trace.
+    pub jobs: usize,
+    /// Seed of both the trace sampler and the simulator.
+    pub seed: u64,
+    /// Input-size multiplier on the trace.
+    pub scale: f64,
+    /// Arrival process.
+    pub arrivals: Arrivals,
+    /// Belief provenance the fleet plans with.
+    pub belief: BeliefKind,
+    /// Scheduler under test.
+    pub sched: SchedKind,
+    /// The injected fault timeline.
+    pub faults: FaultSchedule,
+    /// Stall detection/recovery policy (`None` = legacy stall-is-error).
+    pub policy: Option<FaultPolicy>,
+    /// Admission limit.
+    pub max_concurrent: usize,
+    /// Shared-belief staleness bound.
+    pub regauge_every_s: f64,
+    /// Shard count of the sharded arm (≥ 2).
+    pub shards: usize,
+    /// Whether the trace is region-homed to the backbone's groups.
+    pub regional: bool,
+    /// Directional properties the solo faulted run must satisfy.
+    pub invariants: Vec<Invariant>,
+}
+
+impl ScenarioSpec {
+    /// A scenario skeleton with fleet-sized defaults.
+    pub fn new(name: &'static str, summary: &'static str) -> Self {
+        Self {
+            name,
+            summary,
+            n_dcs: 3,
+            jobs: 4,
+            seed: 42,
+            scale: 0.5,
+            arrivals: Arrivals::Closed { clients: 4, think_s: 0.0 },
+            belief: BeliefKind::Pregauged(300.0),
+            sched: SchedKind::Tetrium,
+            faults: FaultSchedule::new(),
+            policy: Some(FaultPolicy::default()),
+            max_concurrent: 16,
+            regauge_every_s: f64::INFINITY,
+            shards: 2,
+            regional: false,
+            invariants: Vec::new(),
+        }
+    }
+
+    /// Sets the paper-testbed prefix size.
+    #[must_use]
+    pub fn dcs(mut self, n: usize) -> Self {
+        self.n_dcs = n;
+        self
+    }
+
+    /// Sets the trace length.
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Sets the trace + simulator seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the trace input-size multiplier.
+    #[must_use]
+    pub fn scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Sets the arrival process.
+    #[must_use]
+    pub fn arrivals(mut self, arrivals: Arrivals) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Sets the belief provenance.
+    #[must_use]
+    pub fn belief(mut self, belief: BeliefKind) -> Self {
+        self.belief = belief;
+        self
+    }
+
+    /// Sets the scheduler.
+    #[must_use]
+    pub fn scheduler(mut self, sched: SchedKind) -> Self {
+        self.sched = sched;
+        self
+    }
+
+    /// Installs the fault timeline.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the recovery policy (`None` = legacy stall-is-error).
+    #[must_use]
+    pub fn policy(mut self, policy: Option<FaultPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the sharded arm's shard count.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 2, "the sharded arm needs at least 2 shards");
+        self.shards = shards;
+        self
+    }
+
+    /// Homes the trace's tenants to the backbone's region groups.
+    #[must_use]
+    pub fn regional(mut self) -> Self {
+        self.regional = true;
+        self
+    }
+
+    /// Appends one invariant.
+    #[must_use]
+    pub fn expect(mut self, invariant: Invariant) -> Self {
+        self.invariants.push(invariant);
+        self
+    }
+
+    /// Short human label of the arrival process for reports.
+    pub fn arrivals_label(&self) -> String {
+        match &self.arrivals {
+            Arrivals::Poisson { rate_per_s, seed } => {
+                format!("poisson({rate_per_s}/s, seed {seed})")
+            }
+            Arrivals::Closed { clients, think_s } => {
+                format!("closed({clients} clients, think {think_s:.0}s)")
+            }
+            Arrivals::Scheduled { times } => {
+                let bursts = times.iter().filter(|t| **t == 0.0).count();
+                format!("scheduled({} times, {bursts} at t=0)", times.len())
+            }
+        }
+    }
+
+    /// The scenario's topology: the first `n_dcs` paper-testbed regions.
+    pub fn topology(&self) -> Topology {
+        paper_testbed_n(VmType::t2_medium(), self.n_dcs)
+    }
+
+    /// The backbone coupling the sharded arm (continental grouping).
+    pub fn backbone(&self) -> Backbone {
+        Backbone::continental(&self.topology(), 4000.0, 30.0)
+    }
+
+    /// The deterministic job trace.
+    pub fn trace(&self) -> Vec<JobProfile> {
+        let cfg = TraceConfig::new(self.n_dcs, self.jobs, self.seed).scaled(self.scale);
+        if self.regional {
+            regional_mixed_trace(&cfg, self.backbone().groups())
+        } else {
+            mixed_trace(&cfg)
+        }
+    }
+
+    /// A fresh simulator, frozen dynamics; `faulted` installs the
+    /// schedule (the no-fault counterfactual passes `false`).
+    pub fn sim(&self, faulted: bool) -> NetSim {
+        let mut sim = NetSim::new(self.topology(), LinkModelParams::frozen(), self.seed);
+        if faulted && !self.faults.is_empty() {
+            sim.set_fault_schedule(self.faults.clone());
+        }
+        sim
+    }
+
+    /// The fleet-layer config (admission, regauge, recovery policy).
+    pub fn fleet_config(&self) -> FleetConfig {
+        FleetConfig {
+            max_concurrent: self.max_concurrent,
+            regauge_every_s: self.regauge_every_s,
+            conns: None,
+            faults: self.policy,
+        }
+    }
+
+    /// A fresh solo fleet engine with the spec's belief.
+    pub fn engine(&self, faulted: bool) -> FleetEngine {
+        self.engine_with(faulted, self.belief)
+    }
+
+    /// A fresh solo fleet engine with an overridden belief (the
+    /// counterfactual-arm hook).
+    pub fn engine_with(&self, faulted: bool, belief: BeliefKind) -> FleetEngine {
+        FleetEngine::new(
+            self.sim(faulted),
+            self.sched.build(),
+            belief.build(self.n_dcs),
+            self.fleet_config(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wanify_netsim::DcId;
+
+    #[test]
+    fn builder_composes_a_spec() {
+        let spec = ScenarioSpec::new("t", "test")
+            .dcs(4)
+            .jobs(7)
+            .seed(9)
+            .scale(0.25)
+            .scheduler(SchedKind::Kimchi)
+            .belief(BeliefKind::StaticIndependent)
+            .faults(FaultSchedule::new().dc_outage(DcId(1), 10.0, 20.0))
+            .shards(3)
+            .expect(Invariant::AllComplete);
+        assert_eq!(spec.n_dcs, 4);
+        assert_eq!(spec.jobs, 7);
+        assert_eq!(spec.faults.len(), 2);
+        assert_eq!(spec.shards, 3);
+        assert_eq!(spec.invariants.len(), 1);
+        assert_eq!(spec.trace().len(), 7);
+        assert_eq!(spec.topology().len(), 4);
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_spec() {
+        let spec = ScenarioSpec::new("t", "test").dcs(4).jobs(6);
+        assert_eq!(spec.trace(), spec.trace());
+        let regional = spec.clone().regional();
+        assert_eq!(regional.trace(), regional.trace());
+        assert!(regional.trace()[0].name.contains("@g"));
+    }
+
+    #[test]
+    fn counterfactual_sim_carries_no_faults() {
+        let spec = ScenarioSpec::new("t", "test").faults(FaultSchedule::new().dc_outage(
+            DcId(0),
+            1.0,
+            2.0,
+        ));
+        assert!(spec.sim(true).has_pending_faults());
+        assert!(!spec.sim(false).has_pending_faults());
+    }
+
+    #[test]
+    fn invariant_arm_requirements() {
+        assert!(Invariant::SlowdownAtLeast(1.0).needs_nofault_arm());
+        assert!(Invariant::RuntimeBeliefNoWorse(0.1).needs_static_arm());
+        assert!(!Invariant::AllComplete.needs_nofault_arm());
+        assert!(!Invariant::RetriesAtLeast(1).needs_static_arm());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 shards")]
+    fn single_shard_arm_is_rejected() {
+        let _ = ScenarioSpec::new("t", "test").shards(1);
+    }
+}

@@ -121,7 +121,7 @@ macro_rules! int_strategy {
     )+};
 }
 
-int_strategy!(usize, u64, u32, i64, i32);
+int_strategy!(usize, u64, u32, u16, u8, i64, i32);
 
 macro_rules! tuple_strategy {
     ($(($($s:ident / $idx:tt),+);)+) => {$(
@@ -138,6 +138,8 @@ tuple_strategy! {
     (S0 / 0, S1 / 1);
     (S0 / 0, S1 / 1, S2 / 2);
     (S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+    (S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+    (S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
 }
 
 /// Inclusive size bounds for collection strategies.

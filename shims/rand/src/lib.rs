@@ -119,7 +119,7 @@ macro_rules! int_range {
     )+};
 }
 
-int_range!(usize, u64, u32, i64, i32);
+int_range!(usize, u64, u32, u16, u8, i64, i32);
 
 #[cfg(test)]
 mod tests {
