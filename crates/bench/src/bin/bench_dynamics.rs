@@ -1,0 +1,113 @@
+//! Emits `BENCH_dynamics.json`: the tracked perf baseline for event
+//! coalescing *under live dynamics*.
+//!
+//! `bench_netsim` pins the coalescing speedup on a frozen network; this
+//! runner pins the claim this PR makes on top: with the OU process
+//! quantized onto a 30 s tick, rate changes become schedulable events,
+//! so a run whose bandwidth moves the whole time still solves fairness
+//! once per event instead of once per epoch. Both modes are run on the
+//! same seeded workload — coalesced, and forced per-epoch with a
+//! do-nothing hook — and must agree bit for bit (the chunked dynamics
+//! advance consumes the identical RNG stream). The solve-count ratio is
+//! asserted ≥ 10x in every mode; the wall-clock speedup ≥ 10x in full
+//! mode only (smoke workloads are too small to time reliably).
+//!
+//! Usage: `bench_dynamics [--smoke] [--out PATH]`
+//!   --smoke   small workload (CI); skips writing JSON unless --out is
+//!             given explicitly.
+//!   --out     output path (default `BENCH_dynamics.json`, full mode only).
+
+use std::time::Instant;
+use wanify_bench::{all_pair_transfers, live_sim, NoopHook};
+use wanify_netsim::{ConnMatrix, RunStats, Transfer};
+
+const TICK_S: f64 = 30.0;
+
+struct TransferTiming {
+    wall_s: f64,
+    epochs: u64,
+    stats: RunStats,
+    makespan_s: f64,
+}
+
+fn time_run(transfers: &[Transfer], conns: &ConnMatrix, per_epoch: bool) -> TransferTiming {
+    let mut sim = live_sim(conns.len(), TICK_S);
+    let mut hook = NoopHook;
+    let start = Instant::now();
+    let report = if per_epoch {
+        sim.run_transfers(transfers, conns, Some(&mut hook))
+    } else {
+        sim.run_transfers(transfers, conns, None)
+    };
+    let wall_s = start.elapsed().as_secs_f64();
+    TransferTiming {
+        wall_s,
+        epochs: report.epochs as u64,
+        stats: sim.last_run_stats(),
+        makespan_s: report.makespan_s,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = match args.iter().position(|a| a == "--out") {
+        Some(i) => match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => Some(path.clone()),
+            _ => {
+                eprintln!("error: --out requires a path argument");
+                std::process::exit(2);
+            }
+        },
+        None => (!smoke).then(|| "BENCH_dynamics.json".to_string()),
+    };
+
+    // Long-transfer workload under live 30 s-tick dynamics, coalesced vs
+    // per-epoch stepping. Full mode sizes the slowest pair past 1000
+    // simulated seconds — dozens of ticks, the regime the schedulable
+    // dynamics are built for.
+    let payload_gb = if smoke { 24.0 } else { 160.0 };
+    let transfers = all_pair_transfers(8, payload_gb);
+    let conns = ConnMatrix::filled(8, 2);
+    let coalesced = time_run(&transfers, &conns, false);
+    let per_epoch = time_run(&transfers, &conns, true);
+    assert_eq!(coalesced.epochs, per_epoch.epochs, "modes must simulate identical epochs");
+    assert_eq!(
+        coalesced.makespan_s.to_bits(),
+        per_epoch.makespan_s.to_bits(),
+        "modes must agree bit-for-bit under live dynamics"
+    );
+    assert!(coalesced.stats.coalesced, "tick-quantized dynamics must keep the fast path");
+
+    let solve_ratio = per_epoch.stats.solves as f64 / coalesced.stats.solves.max(1) as f64;
+    let speedup = per_epoch.wall_s / coalesced.wall_s.max(1e-12);
+
+    let json = format!(
+        "{{\n  \"bench\": \"dynamics\",\n  \"mode\": \"{}\",\n  \"run_transfers_live\": {{\n    \"workload\": \"8dc_all_pairs_{}gb\",\n    \"dynamics\": \"ou_sigma0.06_theta0.25_tick{}s\",\n    \"simulated_epochs\": {},\n    \"makespan_s\": {:.1},\n    \"coalesced\": {{ \"wall_s\": {:.6}, \"solves\": {}, \"epochs_per_wall_s\": {:.0} }},\n    \"per_epoch\": {{ \"wall_s\": {:.6}, \"solves\": {}, \"epochs_per_wall_s\": {:.0} }},\n    \"solve_ratio\": {:.1},\n    \"speedup\": {:.1}\n  }}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        payload_gb,
+        TICK_S,
+        coalesced.epochs,
+        coalesced.makespan_s,
+        coalesced.wall_s,
+        coalesced.stats.solves,
+        coalesced.epochs as f64 / coalesced.wall_s.max(1e-12),
+        per_epoch.wall_s,
+        per_epoch.stats.solves,
+        per_epoch.epochs as f64 / per_epoch.wall_s.max(1e-12),
+        solve_ratio,
+        speedup,
+    );
+    print!("{json}");
+    if let Some(path) = out {
+        std::fs::write(&path, &json).expect("write benchmark JSON");
+        eprintln!("wrote {path}");
+    }
+    assert!(
+        solve_ratio >= 10.0,
+        "live-dynamics coalescing must save >= 10x solves: {solve_ratio:.1}x"
+    );
+    if !smoke {
+        assert!(speedup >= 10.0, "live-dynamics speedup regressed below 10x: {speedup:.1}x");
+    }
+}

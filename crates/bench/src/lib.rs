@@ -24,6 +24,16 @@ pub fn frozen_sim(n: usize) -> NetSim {
     NetSim::new(paper_testbed_n(VmType::t2_medium(), n), LinkModelParams::frozen(), 11)
 }
 
+/// A live-dynamics simulator on the first `n` paper regions: default OU
+/// noise quantized on `tick_s`, probe noise off — the measurement
+/// environment of `bench_dynamics` (coalescing-eligible *despite* the
+/// bandwidth moving all run long).
+pub fn live_sim(n: usize, tick_s: f64) -> NetSim {
+    let params =
+        LinkModelParams { dynamics_tick_s: tick_s, snapshot_noise: 0.0, ..Default::default() };
+    NetSim::new(paper_testbed_n(VmType::t2_medium(), n), params, 11)
+}
+
 /// Every directed WAN pair of an `n`-DC cluster with `conns` connections.
 pub fn all_pair_flows(n: usize, conns: u32) -> Vec<FlowSpec> {
     let mut flows = Vec::new();

@@ -162,6 +162,14 @@ impl EpochHook for WanifyAgent {
             });
         }
     }
+
+    /// The agent's wake schedule is analytic: it acts only at interval
+    /// boundaries (`on_epoch` above already no-ops before
+    /// `next_update_s`), so the simulator may coalesce every epoch in
+    /// between — hooked runs keep the `O(events)` fast path.
+    fn next_wake(&mut self, _now_s: f64) -> Option<f64> {
+        Some(self.next_update_s)
+    }
 }
 
 #[cfg(test)]

@@ -37,7 +37,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use wanify::source::BandwidthSource;
 use wanify::WanifyError;
-use wanify_netsim::{BwMatrix, ConnMatrix, GroupId, NetEngine, NetSim};
+use wanify_netsim::{BwMatrix, ConnMatrix, DcId, EpochCtx, EpochHook, GroupId, NetEngine, NetSim};
 
 /// Recovery knobs for a failure-aware fleet.
 ///
@@ -318,6 +318,9 @@ enum TimerKind {
     /// The backoff of the run in `slot` expires: resubmit its re-placed
     /// shuffle remainder.
     RetrySubmit(usize),
+    /// The fleet-level agent's next observation is due (recurring while
+    /// jobs remain; see [`FleetAgent`]).
+    AgentWake,
 }
 
 impl PartialEq for Timer {
@@ -351,6 +354,35 @@ struct ActiveRun {
     retry: Option<(Vec<wanify_netsim::Transfer>, ConnMatrix)>,
 }
 
+/// A fleet-level WANify agent: an [`EpochHook`] driven on a fixed timer
+/// cadence over the whole multi-tenant engine, instead of per-epoch over
+/// one exclusive `run_transfers` call. At each wake the agent observes
+/// the engine's aggregate per-pair rates and remaining payloads, may
+/// retune the shared connection matrix (applied to every in-flight group
+/// and preferred over [`FleetConfig::conns`] at admission) and install
+/// traffic-control throttles. Wakes are ordinary timers in the fleet's
+/// event queue, so the engine still coalesces whole windows between them
+/// — a live agent at near-frozen wall-clock cost.
+pub struct FleetAgent {
+    /// The agent logic (typically `wanify::WanifyAgent`).
+    pub hook: Box<dyn EpochHook + Send>,
+    /// Simulated seconds between wakes (finite and positive). The first
+    /// wake fires one interval after the run starts: at t = 0 nothing
+    /// has been through a fairness solve, so there is nothing to observe.
+    pub interval_s: f64,
+    /// The shared connection matrix the agent steers.
+    pub conns: ConnMatrix,
+}
+
+impl std::fmt::Debug for FleetAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetAgent")
+            .field("interval_s", &self.interval_s)
+            .field("conns", &self.conns)
+            .finish()
+    }
+}
+
 /// The multi-tenant serving engine. See the module docs.
 ///
 /// Construction wires a simulator, one scheduler and one shared
@@ -364,6 +396,8 @@ pub struct FleetEngine {
     /// Shared belief cache: the gauged matrix and when it was gauged.
     belief: Option<(BwMatrix, f64)>,
     gauges: u64,
+    /// An optional fleet-level agent, driven by a recurring timer.
+    agent: Option<FleetAgent>,
 }
 
 impl std::fmt::Debug for FleetEngine {
@@ -373,6 +407,7 @@ impl std::fmt::Debug for FleetEngine {
             .field("belief", &self.source.name())
             .field("config", &self.config)
             .field("gauges", &self.gauges)
+            .field("agent", &self.agent)
             .finish()
     }
 }
@@ -404,7 +439,36 @@ impl FleetEngine {
                 policy.backoff_base_s
             );
         }
-        Self { engine: NetEngine::new(sim), scheduler, source, config, belief: None, gauges: 0 }
+        Self {
+            engine: NetEngine::new(sim),
+            scheduler,
+            source,
+            config,
+            belief: None,
+            gauges: 0,
+            agent: None,
+        }
+    }
+
+    /// Installs a fleet-level agent (see [`FleetAgent`]); builder-style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent.interval_s` is not finite and positive, or its
+    /// connection matrix does not match the topology size.
+    pub fn with_agent(mut self, agent: FleetAgent) -> Self {
+        assert!(
+            agent.interval_s.is_finite() && agent.interval_s > 0.0,
+            "agent interval must be finite and positive, got {}",
+            agent.interval_s
+        );
+        assert_eq!(
+            agent.conns.len(),
+            self.engine.sim().topology().len(),
+            "agent connection matrix must match topology size"
+        );
+        self.agent = Some(agent);
+        self
     }
 
     /// Read access to the underlying simulator (topology, time, stats).
@@ -582,6 +646,7 @@ impl FleetRun {
                 }
             }
         }
+        run.arm_agent();
         Ok(run)
     }
 
@@ -629,7 +694,16 @@ impl FleetRun {
         for (idx, t) in arrival_times.into_iter().enumerate() {
             run.push_timer(t, TimerKind::Arrival(idx));
         }
+        run.arm_agent();
         Ok(run)
+    }
+
+    /// Schedules the installed agent's first wake, one interval in.
+    fn arm_agent(&mut self) {
+        if let Some(agent) = &self.fleet.agent {
+            let at = self.fleet.engine.sim().time_s() + agent.interval_s;
+            self.push_timer(at, TimerKind::AgentWake);
+        }
     }
 
     /// Whether every job has completed.
@@ -712,6 +786,16 @@ impl FleetRun {
                             .expect("retry payload stashed at cancel");
                         let id = self.fleet.engine.submit(&transfers, &conns);
                         self.group_owner.insert(id, slot);
+                    }
+                    TimerKind::AgentWake => {
+                        self.agent_wake();
+                        // Recurring while work remains; the last wake dies
+                        // with the last job so the run can terminate.
+                        if self.outcomes.len() < self.jobs.len() {
+                            if let Some(agent) = &self.fleet.agent {
+                                self.push_timer(now + agent.interval_s, TimerKind::AgentWake);
+                            }
+                        }
                     }
                 }
             }
@@ -866,13 +950,20 @@ impl FleetRun {
             fleet.gauges += 1;
         }
         let (bw, _) = fleet.belief.as_ref().expect("belief gauged above");
+        // An installed agent's live connection matrix supersedes the
+        // static per-fleet one: new admissions start on the counts the
+        // agent has steered to so far.
+        let conns = match &fleet.agent {
+            Some(agent) => Some(agent.conns.clone()),
+            None => fleet.config.conns.clone(),
+        };
         let run = JobRun::new(
             job,
             bw.clone(),
             fleet.source.name(),
             fleet.scheduler.as_ref(),
             fleet.engine.sim().topology(),
-            fleet.config.conns.clone(),
+            conns,
         )?;
         let admitted_s = fleet.engine.sim().time_s();
         let active = ActiveRun { run, arrived_s, admitted_s, attempts: 0, retry: None };
@@ -919,6 +1010,32 @@ impl FleetRun {
                 });
             }
         }
+    }
+
+    /// One fleet-level agent wake: observe the engine's aggregate state,
+    /// let the hook act, and write its interventions back — connection
+    /// counts to every in-flight group, throttles to the simulator.
+    fn agent_wake(&mut self) {
+        let fleet = &mut self.fleet;
+        let Some(agent) = fleet.agent.as_mut() else { return };
+        let observed = fleet.engine.observed_pair_bw_mbps();
+        let remaining = fleet.engine.remaining_pair_gb();
+        let mut throttles = fleet.engine.sim().throttles().clone();
+        let mut ctx = EpochCtx {
+            time_s: fleet.engine.sim().time_s(),
+            observed_bw: &observed,
+            remaining_gb: &remaining,
+            conns: &mut agent.conns,
+            throttles: &mut throttles,
+        };
+        agent.hook.on_epoch(&mut ctx);
+        let n = throttles.len();
+        for i in 0..n {
+            for j in 0..n {
+                fleet.engine.sim_mut().set_throttle(DcId(i), DcId(j), throttles.get(i, j));
+            }
+        }
+        fleet.engine.apply_conns(&agent.conns);
     }
 
     /// Puts every newly stalled, owned group under a stall-timeout watch.

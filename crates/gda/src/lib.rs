@@ -48,8 +48,8 @@ pub mod storage;
 pub use cost::{CostBreakdown, CostModel};
 pub use executor::{run_job, JobRun, JobStep, QueryReport, TransferOptions};
 pub use fleet::{
-    Arrivals, FaultCounters, FaultPolicy, FleetConfig, FleetEngine, FleetReport, FleetRun,
-    JobOutcome, Percentiles,
+    Arrivals, FaultCounters, FaultPolicy, FleetAgent, FleetConfig, FleetEngine, FleetReport,
+    FleetRun, JobOutcome, Percentiles,
 };
 pub use job::{JobProfile, StageProfile};
 pub use scheduler::{Kimchi, PlacementCtx, Scheduler, Tetrium, VanillaSpark};

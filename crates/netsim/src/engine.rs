@@ -18,9 +18,11 @@
 //!   arrival), whichever comes first, and returns the completed groups'
 //!   [`GroupReport`]s.
 //!
-//! With frozen dynamics the engine keeps the `O(events)` cost model of
-//! the coalesced transfer loop: one fairness solve per segment, where a
-//! segment ends at a pair drain, a new submission, or a caller deadline.
+//! The engine keeps the `O(events)` cost model of the coalesced transfer
+//! loop whenever [`NetSim::coalescible`] holds (frozen *or* tick-quantized
+//! live dynamics): one fairness solve per segment, where a segment ends
+//! at a pair drain, a new submission, a caller deadline, a fault boundary
+//! or a dynamics tick.
 //! A lone group stepped to completion is **bit-identical** to
 //! [`NetSim::run_transfers`] on the same transfers: both evaluate the
 //! same closed-form per-pair expressions at the same anchor points (see
@@ -98,7 +100,7 @@ impl NetEngine {
     /// Wraps `sim` into an engine. The engine drives all simulation time
     /// while groups are in flight.
     pub fn new(sim: NetSim) -> Self {
-        let coalesced = sim.dynamics().is_frozen();
+        let coalesced = sim.coalescible();
         Self {
             sim,
             groups: Vec::new(),
@@ -289,16 +291,17 @@ impl NetEngine {
     /// deadline was reached — or the engine is idle, in which case time
     /// jumps straight to a finite deadline.
     ///
-    /// With frozen dynamics, fairness is re-solved once per segment (pair
-    /// drain, submission, deadline); with live dynamics the engine steps
-    /// every epoch so rates track the drift, as `run_transfers` does.
+    /// While [`NetSim::coalescible`] holds, fairness is re-solved once
+    /// per segment (pair drain, submission, deadline, fault boundary,
+    /// dynamics tick); only the legacy continuous dynamics force the
+    /// engine to step every epoch, as `run_transfers` does.
     pub fn advance_until(&mut self, deadline_s: f64) -> Vec<GroupReport> {
         if !self.ready.is_empty() {
             self.sync_stats();
             return std::mem::take(&mut self.ready);
         }
         let dt = self.sim.params().epoch_dt_s.max(1e-3);
-        let fast = self.sim.dynamics().is_frozen();
+        let fast = self.sim.coalescible();
         let mut completed: Vec<GroupReport> = Vec::new();
         let mut epochs_this_call: usize = 0;
 
@@ -355,7 +358,7 @@ impl NetEngine {
             }
 
             // Epochs to the next drain event (fast path) or exactly one
-            // (per-epoch stepping under live dynamics).
+            // (per-epoch stepping under legacy continuous dynamics).
             let k_drain: u64 = if fast {
                 let mut k = u64::MAX;
                 for &(g, p) in &self.flow_refs {
@@ -368,10 +371,11 @@ impl NetEngine {
             } else {
                 1
             };
-            // Never jump past the next scheduled fault: it changes rates
-            // just like a drain does.
+            // Never jump past the next scheduled fault or dynamics tick:
+            // both change rates just like a drain does.
             let k_fault = self.sim.epochs_until_next_fault(dt);
-            let k_step = k_drain.min(k_fault);
+            let k_dyn = self.sim.epochs_until_next_rate_change(dt);
+            let k_step = k_drain.min(k_fault).min(k_dyn);
             // Whole epochs that fit before the caller's deadline.
             let k_deadline: u64 = if deadline_s.is_finite() {
                 ((deadline_s - now) / dt).floor() as u64
@@ -579,6 +583,62 @@ impl NetEngine {
             }
         }
         self.sim.set_backbone_caps(caps);
+    }
+
+    /// Aggregate rate per directed pair at the last fairness solve, in
+    /// Mbps: the sum over in-flight groups of each active pair's current
+    /// allocation. A fleet-level agent reads this as its `ifTop`
+    /// monitoring stand-in (paper §4.1.3). Zero for pairs with no active
+    /// flow and for freshly submitted groups not yet through a solve.
+    pub fn observed_pair_bw_mbps(&self) -> BwMatrix {
+        let n = self.sim.topology().len();
+        let dt = self.sim.params().epoch_dt_s.max(1e-3);
+        let mut bw = BwMatrix::new(n);
+        for group in &self.groups {
+            for pair in &group.pairs {
+                if pair.active {
+                    let rate = pair.quota * 1000.0 / dt;
+                    bw.set(pair.src, pair.dst, bw.get(pair.src, pair.dst) + rate);
+                }
+            }
+        }
+        bw
+    }
+
+    /// Remaining WAN payload per directed pair in gigabits, summed over
+    /// every in-flight group — the demand signal a fleet-level agent
+    /// weighs its connection optimization by.
+    pub fn remaining_pair_gb(&self) -> BwMatrix {
+        let n = self.sim.topology().len();
+        let mut left = BwMatrix::new(n);
+        for group in &self.groups {
+            for pair in &group.pairs {
+                if pair.active {
+                    let r = pair.current_remaining().max(0.0);
+                    left.set(pair.src, pair.dst, left.get(pair.src, pair.dst) + r);
+                }
+            }
+        }
+        left
+    }
+
+    /// Overwrites the connection matrix of every in-flight group — the
+    /// fleet-level agent's intervention point. The next fairness solve
+    /// sees the new counts, and every pair whose fair share moves
+    /// re-anchors, exactly as any other rate-change event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conns` does not match the topology size.
+    pub fn apply_conns(&mut self, conns: &ConnMatrix) {
+        assert_eq!(
+            conns.len(),
+            self.sim.topology().len(),
+            "connection matrix must match topology size"
+        );
+        for group in &mut self.groups {
+            group.conns = conns.clone();
+        }
     }
 }
 
@@ -872,6 +932,52 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits());
         }
         assert_eq!(engine.sim().degraded_s().to_bits(), sim.degraded_s().to_bits());
+    }
+
+    #[test]
+    fn engine_live_dynamics_parity_with_run_transfers() {
+        // Tick-quantized OU dynamics: the engine clips its jumps at the
+        // same tick boundaries the blocking loop does, and the chunked
+        // dynamics advance consumes the identical RNG stream, so a lone
+        // group must stay bit-identical — at far fewer solves than epochs.
+        let live_sim3 = || {
+            let topo = Topology::builder()
+                .dc(Region::UsEast, VmType::t3_nano(), 1)
+                .dc(Region::UsWest, VmType::t3_nano(), 1)
+                .dc(Region::ApSoutheast1, VmType::t3_nano(), 1)
+                .build()
+                .unwrap();
+            let params = LinkModelParams {
+                dynamics_tick_s: 30.0,
+                snapshot_noise: 0.0,
+                ..Default::default()
+            };
+            NetSim::new(topo, params, 19)
+        };
+        let transfers =
+            [Transfer::new(DcId(0), DcId(1), 80.0), Transfer::new(DcId(0), DcId(2), 15.0)];
+        let conns = ConnMatrix::filled(3, 2);
+
+        let mut sim = live_sim3();
+        let blocking = sim.run_transfers(&transfers, &conns, None);
+
+        let mut engine = NetEngine::new(live_sim3());
+        engine.submit(&transfers, &conns);
+        let reports = drive_to_completion(&mut engine);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].makespan_s.to_bits(), blocking.makespan_s.to_bits());
+        assert_eq!(reports[0].min_pair_bw_mbps.to_bits(), blocking.min_pair_bw_mbps.to_bits());
+        for (a, b) in reports[0].egress_gigabits.iter().zip(&blocking.egress_gigabits) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let stats = engine.sim().last_run_stats();
+        assert!(stats.coalesced);
+        assert!(
+            stats.solves * 10 <= stats.epochs,
+            "30 s ticks should coalesce >= 10x: {} solves over {} epochs",
+            stats.solves,
+            stats.epochs
+        );
     }
 
     #[test]

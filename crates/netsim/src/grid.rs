@@ -105,6 +105,18 @@ impl<T: Copy + Default> Grid<T> {
             .flat_map(move |i| (0..n).filter(move |&j| j != i).map(move |j| (i, j, self.get(i, j))))
     }
 
+    /// Iterates mutably over all directed off-diagonal pairs
+    /// `(i, j, &mut value)`, in the same row-major order as
+    /// [`Grid::iter_pairs`] — consumers that draw randomness per cell
+    /// (the OU dynamics) rely on that order being identical.
+    pub fn iter_pairs_mut(&mut self) -> impl Iterator<Item = (usize, usize, &mut T)> {
+        let n = self.n;
+        self.data.iter_mut().enumerate().filter_map(move |(idx, v)| {
+            let (i, j) = (idx / n, idx % n);
+            (i != j).then_some((i, j, v))
+        })
+    }
+
     /// Maps every cell through `f`, producing a new grid.
     pub fn map<U: Copy + Default>(&self, mut f: impl FnMut(T) -> U) -> Grid<U> {
         Grid::from_fn(self.n, |i, j| f(self.get(i, j)))
@@ -240,6 +252,19 @@ mod tests {
     fn iter_pairs_visits_all_off_diagonal() {
         let g = sample();
         assert_eq!(g.iter_pairs().count(), 6);
+    }
+
+    #[test]
+    fn iter_pairs_mut_visits_the_same_cells_in_the_same_order() {
+        let mut g = sample();
+        let order: Vec<(usize, usize)> = g.iter_pairs().map(|(i, j, _)| (i, j)).collect();
+        let mut_order: Vec<(usize, usize)> = g.iter_pairs_mut().map(|(i, j, _)| (i, j)).collect();
+        assert_eq!(order, mut_order);
+        for (_, _, v) in g.iter_pairs_mut() {
+            *v += 1.0;
+        }
+        assert_eq!(g.get(0, 1), 401.0);
+        assert_eq!(g.get(0, 0), 0.0, "the diagonal must be skipped");
     }
 
     #[test]

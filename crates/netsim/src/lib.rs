@@ -26,14 +26,18 @@
 //!
 //! ## Performance model
 //!
-//! [`NetSim::run_transfers`] coalesces epochs between *events* (pair
-//! drains, hook interventions, dynamics drift): with frozen dynamics and
-//! no [`EpochHook`] it performs one fairness solve per drain event and
-//! jumps whole segments at a time, bit-identically to per-epoch stepping
-//! (see the [`sim`] module docs). The solver runs allocation-free through
-//! [`FairnessWorkspace`] / [`RateScratch`] reusable buffers. Hooked or
-//! dynamic runs step (and re-solve) every epoch, so local agents always
-//! observe each simulated second.
+//! [`NetSim::run_transfers`] coalesces epochs between *events* — pair
+//! drains, fault boundaries, dynamics ticks and hook wakes — performing
+//! one fairness solve per event and jumping whole segments at a time,
+//! bit-identically to per-epoch stepping (see the [`sim`] module docs).
+//! Live dynamics stay coalescible because [`Dynamics`] is quantized onto
+//! a configurable tick ([`LinkModelParams::dynamics_tick_s`]); hooks stay
+//! coalescible when they schedule their wakes via
+//! [`EpochHook::next_wake`], as the AIMD agent does. The solver runs
+//! allocation-free through [`FairnessWorkspace`] / [`RateScratch`]
+//! reusable buffers. Only the legacy continuous dynamics
+//! (`dynamics_tick_s <= 0`) and hooks that decline to schedule force
+//! stepping every epoch.
 //!
 //! For multi-tenant workloads — many queries' shuffles contending on one
 //! WAN — the [`engine`] module generalizes the same machinery into the

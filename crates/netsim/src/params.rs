@@ -42,6 +42,15 @@ pub struct LinkModelParams {
     pub dynamics_sigma: f64,
     /// Mean-reversion rate of the dynamics process (per second).
     pub dynamics_theta: f64,
+    /// Quantization tick of the dynamics in seconds: OU steps fire and
+    /// the piecewise components resample only at tick boundaries, which
+    /// makes rate changes schedulable and lets the transfer loop coalesce
+    /// epochs between them. 1 s (the default) is bit-compatible with the
+    /// legacy per-second process; larger ticks (e.g. 30 s for fleet runs)
+    /// trade temporal resolution for proportionally fewer fairness
+    /// solves. Non-positive selects the legacy continuous (unschedulable)
+    /// process.
+    pub dynamics_tick_s: f64,
     /// Relative observation noise of a 1-second snapshot probe.
     pub snapshot_noise: f64,
     /// Multiplier on `conn_cap` for flows crossing cloud providers.
@@ -66,6 +75,7 @@ impl Default for LinkModelParams {
             congestion_lambda: 0.4,
             dynamics_sigma: 0.06,
             dynamics_theta: 0.25,
+            dynamics_tick_s: 1.0,
             snapshot_noise: 0.05,
             cross_provider_factor: 0.8,
             epoch_dt_s: 0.25,

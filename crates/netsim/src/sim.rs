@@ -9,15 +9,20 @@
 //! (gigabits per epoch), the remaining payload is `r0 − m·g`, the moved
 //! payload `m0 + m·g` and the busy time `b0 + m·dt`.
 //!
-//! When no [`EpochHook`] is installed and the bandwidth dynamics are
-//! frozen (`dynamics_sigma == 0`), rates can only change when a pair
-//! drains, so the simulator solves weighted max-min fairness once per
-//! segment and jumps straight to the next drain event: `O(events)`
-//! fairness solves instead of `O(simulated seconds)`. Because both modes
-//! evaluate the same closed-form float expressions at the same anchor
-//! points, the fast path is *bit-identical* to per-epoch stepping. With a
-//! hook or live dynamics the loop falls back to stepping (and re-solving)
-//! every epoch, preserving the original per-second semantics.
+//! Rates can only change at *schedulable events*: a pair draining, a
+//! scheduled fault boundary, a dynamics tick (the OU grid and piecewise
+//! components evolve only on the quantized tick — see
+//! [`crate::Dynamics`]), or an [`EpochHook`] wake. The loop solves
+//! weighted max-min fairness once per segment and jumps straight to the
+//! nearest of those horizons: `O(events)` fairness solves instead of
+//! `O(simulated seconds)`, under frozen *and* live dynamics, hooked or
+//! not. Because both modes evaluate the same closed-form float
+//! expressions at the same anchor points — and tick-quantized dynamics
+//! consume identical RNG draws whether time advances in one jump or many
+//! steps — the fast path is *bit-identical* to per-epoch stepping. Only
+//! the legacy continuous dynamics (`dynamics_tick_s <= 0`) and hooks
+//! that decline to schedule a wake ([`EpochHook::next_wake`] returning
+//! `None`, the default) force stepping every epoch.
 //!
 //! [`NetSim::last_run_stats`] reports how many solves the previous run
 //! performed, which the perf tests and `BENCH_netsim.json` runner track.
@@ -63,12 +68,32 @@ pub struct EpochCtx<'a> {
 
 /// Per-epoch callback driven by [`NetSim::run_transfers`].
 ///
-/// Installing a hook forces the simulator onto the per-epoch path: the
-/// hook observes and may intervene after *every* simulated epoch, so no
-/// epochs are ever coalesced away from under it.
+/// By default a hook observes and may intervene after *every* simulated
+/// epoch — no epochs are coalesced away from under it. Hooks that only
+/// act on a schedule (the AIMD agent updates every `interval_s`) can
+/// override [`EpochHook::next_wake`] to tell the simulator when they
+/// next need to run, which re-enables event coalescing between wakes.
 pub trait EpochHook {
-    /// Invoked after every simulated second.
+    /// Invoked after every served segment (every epoch unless the hook
+    /// schedules wakes via [`EpochHook::next_wake`]).
     fn on_epoch(&mut self, ctx: &mut EpochCtx<'_>);
+
+    /// The next absolute simulation time this hook needs to observe, or
+    /// `None` to be invoked after every epoch (the default, preserving
+    /// strict per-epoch semantics).
+    ///
+    /// Returning `Some(w)` lets the transfer loop coalesce whole
+    /// multi-epoch segments up to `w`. The hook is still invoked at the
+    /// end of *every* segment — drains, fault boundaries and dynamics
+    /// ticks end segments too, and float rounding may land an invocation
+    /// an epoch early — so a scheduling hook must treat off-wake
+    /// invocations as no-ops (re-checking `ctx.time_s` against its own
+    /// schedule), exactly as an interval-guarded per-epoch hook already
+    /// does.
+    fn next_wake(&mut self, now_s: f64) -> Option<f64> {
+        let _ = now_s;
+        None
+    }
 }
 
 /// Statistics about the most recent [`NetSim::run_transfers`] call.
@@ -78,7 +103,9 @@ pub struct RunStats {
     pub solves: u64,
     /// Epochs simulated (matches [`TransferReport::epochs`]).
     pub epochs: u64,
-    /// Whether the event-coalescing fast path was eligible.
+    /// Whether the event-coalescing fast path served multi-epoch
+    /// segments: the dynamics were schedulable and any installed hook
+    /// scheduled its wakes.
     pub coalesced: bool,
 }
 
@@ -221,6 +248,26 @@ pub(crate) fn epochs_to_drain(remaining: f64, quota: f64, served: u64) -> Option
     Some(hi)
 }
 
+/// Whole epochs of length `dt` from `now_s` that the coalescing fast
+/// path may jump without overshooting an event at `next_s` (≥ 1;
+/// `u64::MAX` when the event time is not finite). The bound lands
+/// exactly on the epoch whose solve point first sees the event, so
+/// coalesced jumps apply it at the same simulated epoch as per-epoch
+/// stepping — faults, dynamics ticks and hook wakes all share this clip.
+pub(crate) fn epochs_until_event(now_s: f64, next_s: f64, dt: f64) -> u64 {
+    if !next_s.is_finite() {
+        return u64::MAX;
+    }
+    let k = ((next_s - now_s - 1e-9) / dt).ceil();
+    if k <= 1.0 {
+        1
+    } else if k >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        k as u64
+    }
+}
+
 /// The deterministic WAN simulator.
 ///
 /// See the crate-level documentation for the model; all randomness flows
@@ -250,7 +297,12 @@ impl NetSim {
     /// Creates a simulator over `topo` with the given parameters and seed.
     pub fn new(topo: Topology, params: LinkModelParams, seed: u64) -> Self {
         let n = topo.len();
-        let dynamics = Dynamics::new(n, params.dynamics_sigma, params.dynamics_theta);
+        let dynamics = Dynamics::with_tick(
+            n,
+            params.dynamics_sigma,
+            params.dynamics_theta,
+            params.dynamics_tick_s,
+        );
         Self {
             topo,
             params,
@@ -288,6 +340,22 @@ impl NetSim {
     /// Current dynamics multipliers (for inspection/testing).
     pub fn dynamics(&self) -> &Dynamics {
         &self.dynamics
+    }
+
+    /// Mutable access to the dynamics, for installing piecewise
+    /// components ([`Dynamics::set_diurnal`], [`Dynamics::set_decay`]).
+    pub fn dynamics_mut(&mut self) -> &mut Dynamics {
+        &mut self.dynamics
+    }
+
+    /// Whether the event-coalescing fast path may serve multi-epoch
+    /// segments: rate changes must be schedulable, i.e. the dynamics are
+    /// tick-quantized (frozen dynamics trivially are). The single gate
+    /// shared by [`NetSim::run_transfers`] and the multi-tenant engine;
+    /// only the legacy continuous process (`dynamics_tick_s <= 0`)
+    /// reports `false`.
+    pub fn coalescible(&self) -> bool {
+        self.dynamics.is_schedulable()
     }
 
     /// Statistics about the most recent [`NetSim::run_transfers`] call or
@@ -411,21 +479,21 @@ impl NetSim {
 
     /// Whole epochs of length `dt` the coalescing fast path may jump
     /// without overshooting the next scheduled fault (≥ 1; `u64::MAX`
-    /// when no fault is pending). The bound lands exactly on the epoch
-    /// whose solve-point poll first sees the event, so coalesced jumps
-    /// apply faults at the same simulated epoch as per-epoch stepping.
+    /// when no fault is pending). See [`epochs_until_event`].
     pub(crate) fn epochs_until_next_fault(&self, dt: f64) -> u64 {
-        let next = self.next_fault_s();
-        if !next.is_finite() {
-            return u64::MAX;
-        }
-        let k = ((next - self.time_s - 1e-9) / dt).ceil();
-        if k <= 1.0 {
-            1
-        } else if k >= u64::MAX as f64 {
-            u64::MAX
-        } else {
-            k as u64
+        epochs_until_event(self.time_s, self.next_fault_s(), dt)
+    }
+
+    /// Whole epochs of length `dt` the coalescing fast path may jump
+    /// without overshooting the next dynamics tick (≥ 1; `u64::MAX` when
+    /// the multipliers will never change again). The bound lands on the
+    /// epoch whose closing [`NetSim::advance`] crosses the tick, so the
+    /// next solve sees the post-tick multipliers at the same simulated
+    /// epoch as per-epoch stepping.
+    pub(crate) fn epochs_until_next_rate_change(&self, dt: f64) -> u64 {
+        match self.dynamics.next_change_after(self.time_s) {
+            Some(next) => epochs_until_event(self.time_s, next, dt),
+            None => u64::MAX,
         }
     }
 
@@ -651,11 +719,14 @@ impl NetSim {
     /// throttles between epochs. Returns per-transfer completion times and
     /// bandwidth statistics.
     ///
-    /// Without a hook and with frozen dynamics, epochs between pair-drain
-    /// events are coalesced: fairness is re-solved only when the active
-    /// pair set changes, with results bit-identical to per-epoch stepping
-    /// (see the module docs). A hook or live dynamics force the per-epoch
-    /// path. [`NetSim::last_run_stats`] exposes the solve count either way.
+    /// Epochs between rate-change events — pair drains, fault
+    /// boundaries, dynamics ticks and hook wakes — are coalesced:
+    /// fairness is re-solved only where rates can actually change, with
+    /// results bit-identical to per-epoch stepping (see the module
+    /// docs). A hook whose [`EpochHook::next_wake`] returns `None` (the
+    /// default) and the legacy continuous dynamics force the per-epoch
+    /// path. [`NetSim::last_run_stats`] exposes the solve count either
+    /// way.
     ///
     /// # Panics
     ///
@@ -689,7 +760,10 @@ impl NetSim {
 
         let mut conns = conns.clone();
         let dt = self.params.epoch_dt_s.max(1e-3);
-        let fast = hook.is_none() && self.dynamics.is_frozen();
+        let coalescible = self.coalescible();
+        // Reported flag; with a hook it tracks whether the hook actually
+        // scheduled wakes (re-sampled each segment, last one wins).
+        let mut coalesced = coalescible && hook.is_none();
         let mut active_count = pairs.len();
         let mut epochs = 0usize;
         let mut solves = 0u64;
@@ -733,10 +807,20 @@ impl NetSim {
                 }
             }
 
-            // Epochs to advance in one step: up to the next drain event on
-            // the fast path — never past the next scheduled fault, which
-            // changes rates just like a drain does — exactly one otherwise.
-            let k: u64 = if fast {
+            // Ask an installed hook for its next wake time; `None` means
+            // it wants every epoch, which disables coalescing.
+            let wake: Option<Option<f64>> = hook.as_deref_mut().map(|h| h.next_wake(self.time_s));
+            if wake.is_some() {
+                coalesced = coalescible && wake.flatten().is_some();
+            }
+
+            // Epochs to advance in one step: up to the nearest rate-change
+            // horizon — a pair draining, the next scheduled fault, the
+            // next dynamics tick, or the hook's wake — exactly one when
+            // rates are unschedulable or the hook declined to schedule.
+            let k: u64 = if !coalescible || wake == Some(None) {
+                1
+            } else {
                 let mut k = u64::MAX;
                 for &p in &flow_pairs {
                     let pair = &pairs[p];
@@ -744,9 +828,15 @@ impl NetSim {
                         k = k.min(m - pair.served);
                     }
                 }
-                k.min((MAX_EPOCHS - epochs) as u64).max(1).min(self.epochs_until_next_fault(dt))
-            } else {
-                1
+                k = k
+                    .min((MAX_EPOCHS - epochs) as u64)
+                    .max(1)
+                    .min(self.epochs_until_next_fault(dt))
+                    .min(self.epochs_until_next_rate_change(dt));
+                if let Some(Some(w)) = wake {
+                    k = k.min(epochs_until_event(self.time_s, w, dt));
+                }
+                k
             };
 
             for &p in &flow_pairs {
@@ -761,7 +851,8 @@ impl NetSim {
             self.advance(k as f64 * dt);
 
             if let Some(h) = hook.as_deref_mut() {
-                // k == 1 here: a hook forces per-epoch stepping.
+                // Invoked at the end of every served segment; a
+                // wake-scheduling hook treats off-wake calls as no-ops.
                 for pair in &pairs {
                     observed.set(pair.src, pair.dst, 0.0);
                 }
@@ -818,7 +909,7 @@ impl NetSim {
             .map(|t| busy_s.at(t.src, t.dst).max(if t.gigabits > 0.0 { dt } else { 0.0 }))
             .collect();
         let makespan = completion.iter().copied().fold(0.0, f64::max);
-        self.last_run_stats = RunStats { solves, epochs: epochs as u64, coalesced: fast };
+        self.last_run_stats = RunStats { solves, epochs: epochs as u64, coalesced };
         TransferReport {
             makespan_s: makespan,
             completion_s: completion,

@@ -20,6 +20,14 @@ fn frozen_sim(n: usize, seed: u64) -> NetSim {
     NetSim::new(paper_testbed_n(VmType::t3_nano(), n), LinkModelParams::frozen(), seed)
 }
 
+/// A sim with live OU dynamics quantized on `tick_s`. Probe noise is off so
+/// the only RNG consumer is the dynamics process itself.
+fn live_sim(n: usize, seed: u64, tick_s: f64) -> NetSim {
+    let params =
+        LinkModelParams { dynamics_tick_s: tick_s, snapshot_noise: 0.0, ..Default::default() };
+    NetSim::new(paper_testbed_n(VmType::t3_nano(), n), params, seed)
+}
+
 struct RefPair {
     src: usize,
     dst: usize,
@@ -300,6 +308,162 @@ fn fault_timeline_stays_bit_identical_to_reference() {
     assert!(fast_sim.degraded_s() > 0.0, "the timeline must actually degrade the run");
 }
 
+#[test]
+fn live_dynamics_stay_bit_identical_to_reference() {
+    // OU dynamics quantized on a 30 s tick: rates change only at tick
+    // boundaries, so the fast path jumps whole inter-tick segments yet
+    // must reproduce the per-epoch reference bit for bit.
+    let transfers = [
+        Transfer::new(DcId(0), DcId(1), 90.0),
+        Transfer::new(DcId(0), DcId(2), 20.0),
+        Transfer::new(DcId(2), DcId(1), 6.0),
+    ];
+    let conns = ConnMatrix::from_fn(3, |i, j| if i == j { 1 } else { 1 + (i + 2 * j) as u32 });
+    let mut fast_sim = live_sim(3, 77, 30.0);
+    let fast = fast_sim.run_transfers(&transfers, &conns, None);
+    let stats = fast_sim.last_run_stats();
+    let reference = reference_run(&mut live_sim(3, 77, 30.0), &transfers, &conns);
+    assert_reports_bit_identical(&fast, &reference);
+    assert!(stats.coalesced, "tick-quantized dynamics must keep the fast path");
+    assert!(
+        stats.solves * 10 <= stats.epochs,
+        "30 s ticks at dt 0.25 should coalesce >= 10x: {} solves over {} epochs",
+        stats.solves,
+        stats.epochs
+    );
+}
+
+#[test]
+fn unit_tick_dynamics_match_reference() {
+    // The bit-compat default: a 1 s tick with dt 0.25 still coalesces the
+    // four epochs inside each tick while reproducing the legacy trajectory.
+    let transfers = [Transfer::new(DcId(0), DcId(1), 25.0), Transfer::new(DcId(1), DcId(2), 8.0)];
+    let conns = ConnMatrix::filled(3, 2);
+    let mut fast_sim = live_sim(3, 5, 1.0);
+    let fast = fast_sim.run_transfers(&transfers, &conns, None);
+    let stats = fast_sim.last_run_stats();
+    let reference = reference_run(&mut live_sim(3, 5, 1.0), &transfers, &conns);
+    assert_reports_bit_identical(&fast, &reference);
+    assert!(stats.coalesced);
+    assert!(stats.solves < stats.epochs, "{} solves, {} epochs", stats.solves, stats.epochs);
+}
+
+#[test]
+fn composed_diurnal_and_decay_stay_bit_identical_to_reference() {
+    // Piecewise deterministic components (diurnal sinusoid + linear decay)
+    // resample on the same tick grid as the OU process, so composing them
+    // must not break fast-path parity.
+    let install = |sim: &mut NetSim| {
+        sim.dynamics_mut().set_diurnal(0.3, 120.0, 15.0);
+        sim.dynamics_mut().set_decay(1e-4, 0.7);
+    };
+    let transfers = [Transfer::new(DcId(0), DcId(1), 60.0), Transfer::new(DcId(0), DcId(2), 9.0)];
+    let conns = ConnMatrix::filled(3, 2);
+    let mut fast_sim = live_sim(3, 31, 10.0);
+    install(&mut fast_sim);
+    let fast = fast_sim.run_transfers(&transfers, &conns, None);
+    let mut ref_sim = live_sim(3, 31, 10.0);
+    install(&mut ref_sim);
+    let reference = reference_run(&mut ref_sim, &transfers, &conns);
+    assert_reports_bit_identical(&fast, &reference);
+    assert!(fast_sim.last_run_stats().coalesced);
+}
+
+/// An AIMD-shaped hook: acts only at interval boundaries, and — when
+/// `schedule` is set — tells the engine so via `next_wake`, keeping the
+/// run coalescible. With `schedule` off the same hook forces per-epoch
+/// stepping, which is the reference arm of the hooked parity tests.
+struct IntervalHook {
+    next_s: f64,
+    interval_s: f64,
+    schedule: bool,
+    updates: usize,
+}
+
+impl IntervalHook {
+    fn new(interval_s: f64, schedule: bool) -> Self {
+        Self { next_s: 0.0, interval_s, schedule, updates: 0 }
+    }
+}
+
+impl EpochHook for IntervalHook {
+    fn on_epoch(&mut self, ctx: &mut EpochCtx<'_>) {
+        if ctx.time_s < self.next_s {
+            return;
+        }
+        self.next_s = ctx.time_s + self.interval_s;
+        self.updates += 1;
+        // A deterministic intervention that depends only on the update
+        // count, so both arms drive identical connection trajectories.
+        ctx.conns.set(0, 1, 1 + (self.updates % 5) as u32);
+        ctx.conns.set(1, 2, 1 + ((self.updates * 2) % 4) as u32);
+    }
+
+    fn next_wake(&mut self, _now_s: f64) -> Option<f64> {
+        self.schedule.then_some(self.next_s)
+    }
+}
+
+#[test]
+fn wake_scheduling_hook_matches_per_epoch_hook_bit_for_bit() {
+    let transfers = [
+        Transfer::new(DcId(0), DcId(1), 70.0),
+        Transfer::new(DcId(1), DcId(2), 30.0),
+        Transfer::new(DcId(0), DcId(2), 5.0),
+    ];
+    let conns = ConnMatrix::filled(3, 1);
+
+    let mut scheduled = IntervalHook::new(5.0, true);
+    let mut fast_sim = frozen_sim(3, 11);
+    let fast = fast_sim.run_transfers(&transfers, &conns, Some(&mut scheduled));
+    let fast_stats = fast_sim.last_run_stats();
+
+    let mut stepped_hook = IntervalHook::new(5.0, false);
+    let mut ref_sim = frozen_sim(3, 11);
+    let stepped = ref_sim.run_transfers(&transfers, &conns, Some(&mut stepped_hook));
+    let ref_stats = ref_sim.last_run_stats();
+
+    assert_reports_bit_identical(&fast, &stepped);
+    assert_eq!(scheduled.updates, stepped_hook.updates, "both arms must act at the same wakes");
+    assert!(scheduled.updates >= 3, "the run must span several intervals");
+    assert!(fast_stats.coalesced, "a wake-scheduling hook must keep the fast path");
+    assert!(!ref_stats.coalesced);
+    assert_eq!(ref_stats.solves, stepped.epochs as u64);
+    assert!(
+        fast_stats.solves * 4 <= ref_stats.solves,
+        "wake scheduling should save most solves: {} vs {}",
+        fast_stats.solves,
+        ref_stats.solves
+    );
+}
+
+#[test]
+fn hooked_live_dynamics_and_faults_compose_bit_identically() {
+    // The full horizon: drains, fault boundaries, 10 s dynamics ticks and
+    // 5 s hook wakes all interleave; the generalized next-event jump must
+    // still match the same hook forced to step per epoch.
+    let schedule =
+        || FaultSchedule::new().dc_outage(DcId(2), 6.0, 14.0).straggler(DcId(0), 0.7, 20.0);
+    let transfers = [Transfer::new(DcId(0), DcId(1), 55.0), Transfer::new(DcId(0), DcId(2), 12.0)];
+    let conns = ConnMatrix::filled(3, 2);
+
+    let mut scheduled = IntervalHook::new(5.0, true);
+    let mut fast_sim = live_sim(3, 23, 10.0);
+    fast_sim.set_fault_schedule(schedule());
+    let fast = fast_sim.run_transfers(&transfers, &conns, Some(&mut scheduled));
+
+    let mut stepped_hook = IntervalHook::new(5.0, false);
+    let mut ref_sim = live_sim(3, 23, 10.0);
+    ref_sim.set_fault_schedule(schedule());
+    let stepped = ref_sim.run_transfers(&transfers, &conns, Some(&mut stepped_hook));
+
+    assert_reports_bit_identical(&fast, &stepped);
+    assert_eq!(scheduled.updates, stepped_hook.updates);
+    assert_eq!(fast_sim.degraded_s().to_bits(), ref_sim.degraded_s().to_bits());
+    assert!(fast_sim.last_run_stats().coalesced);
+    assert!(fast_sim.last_run_stats().solves < ref_sim.last_run_stats().solves);
+}
+
 /// One self-healing fault for the parity proptest: `(kind, dc_a, dc_b,
 /// start, duration, factor)` expands to an event plus its restoration, so
 /// the per-second reference never steps a permanently-stalled pair to the
@@ -383,6 +547,84 @@ proptest! {
             prop_assert_eq!(a.to_bits(), b.to_bits());
         }
         for (a, b) in fast.achieved_bw.as_slice().iter().zip(reference.achieved_bw.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn live_dynamics_parity_on_random_faulted_timelines(
+        payloads in proptest::collection::vec((0usize..3, 0usize..3, 0.5f64..5.0), 1..4),
+        tick_i in 0usize..4,
+        timeline in arb_fault_timeline(),
+        seed in 0u64..500,
+    ) {
+        // Ticks are multiples of dt (0.25 s), so segment time accounting
+        // is exact and parity must hold to the bit.
+        let tick = [1.0, 2.0, 7.5, 30.0][tick_i];
+        let transfers: Vec<Transfer> = payloads
+            .iter()
+            .map(|&(s, d, gb)| Transfer::new(DcId(s), DcId(d), gb))
+            .collect();
+        let conns = ConnMatrix::filled(3, 2);
+        let mut fast_sim = live_sim(3, seed, tick);
+        fast_sim.set_fault_schedule(build_schedule(&timeline));
+        let fast = fast_sim.run_transfers(&transfers, &conns, None);
+        prop_assert!(fast_sim.last_run_stats().coalesced);
+        let mut ref_sim = live_sim(3, seed, tick);
+        ref_sim.set_fault_schedule(build_schedule(&timeline));
+        let reference = reference_run(&mut ref_sim, &transfers, &conns);
+        prop_assert_eq!(fast.epochs, reference.epochs);
+        prop_assert_eq!(fast.makespan_s.to_bits(), reference.makespan_s.to_bits());
+        prop_assert_eq!(fast.min_pair_bw_mbps.to_bits(), reference.min_pair_bw_mbps.to_bits());
+        for (a, b) in fast.completion_s.iter().zip(&reference.completion_s) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in fast.egress_gigabits.iter().zip(&reference.egress_gigabits) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in fast.achieved_bw.as_slice().iter().zip(reference.achieved_bw.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(fast_sim.degraded_s().to_bits(), ref_sim.degraded_s().to_bits());
+    }
+
+    #[test]
+    fn wake_scheduled_hooks_parity_on_random_workloads(
+        payloads in proptest::collection::vec((0usize..3, 0usize..3, 1.0f64..6.0), 1..4),
+        interval_i in 0usize..3,
+        tick_i in 0usize..3,
+        seed in 0u64..500,
+    ) {
+        let interval = [2.5, 5.0, 10.0][interval_i];
+        // tick 0.0 here means frozen dynamics (the frozen_sim arm).
+        let tick = [0.0, 1.0, 30.0][tick_i];
+        let make_sim = || if tick > 0.0 { live_sim(3, seed, tick) } else { frozen_sim(3, seed) };
+        let transfers: Vec<Transfer> = payloads
+            .iter()
+            .map(|&(s, d, gb)| Transfer::new(DcId(s), DcId(d), gb))
+            .collect();
+        let conns = ConnMatrix::filled(3, 1);
+
+        let mut scheduled = IntervalHook::new(interval, true);
+        let mut fast_sim = make_sim();
+        let fast = fast_sim.run_transfers(&transfers, &conns, Some(&mut scheduled));
+
+        let mut stepped_hook = IntervalHook::new(interval, false);
+        let mut ref_sim = make_sim();
+        let stepped = ref_sim.run_transfers(&transfers, &conns, Some(&mut stepped_hook));
+
+        prop_assert_eq!(scheduled.updates, stepped_hook.updates);
+        prop_assert!(fast_sim.last_run_stats().solves <= ref_sim.last_run_stats().solves);
+        prop_assert_eq!(fast.epochs, stepped.epochs);
+        prop_assert_eq!(fast.makespan_s.to_bits(), stepped.makespan_s.to_bits());
+        prop_assert_eq!(fast.min_pair_bw_mbps.to_bits(), stepped.min_pair_bw_mbps.to_bits());
+        for (a, b) in fast.completion_s.iter().zip(&stepped.completion_s) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in fast.egress_gigabits.iter().zip(&stepped.egress_gigabits) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in fast.achieved_bw.as_slice().iter().zip(stepped.achieved_bw.as_slice()) {
             prop_assert_eq!(a.to_bits(), b.to_bits());
         }
     }

@@ -1,10 +1,11 @@
-//! The committed scenario suite: six fault-injection studies.
+//! The committed scenario suite: fault-injection and live-dynamics
+//! studies.
 //!
 //! Each entry is ~20 lines of declarative spec — the point of the
 //! harness. [`all`] returns them in report order; [`by_name`] resolves a
 //! `scenario:<name>` experiment id.
 
-use crate::spec::{BeliefKind, Invariant, ScenarioSpec, SchedKind};
+use crate::spec::{BeliefKind, DynamicsSpec, Invariant, ScenarioSpec, SchedKind};
 use wanify_gda::{Arrivals, FaultPolicy};
 use wanify_netsim::{DcId, FaultSchedule};
 
@@ -150,6 +151,51 @@ fn regional_storm() -> ScenarioSpec {
     .expect(Invariant::SlowdownAtLeast(1.2))
 }
 
+/// Live tick-quantized dynamics with no injected faults: the network
+/// moves on its own (OU noise composed with a diurnal wave), and the
+/// runtime-measured belief must still hold its own against static.
+fn diurnal_live_dynamics() -> ScenarioSpec {
+    ScenarioSpec::new(
+        "diurnal-live-dynamics",
+        "No faults at all — instead the WAN itself breathes: OU noise on a 30 s tick \
+         composed with a ±30 % diurnal wave. The coalescing engine schedules every rate \
+         change, every job completes, and a runtime-measured belief must not place \
+         meaningfully worse than a static-independent one on the moving network.",
+    )
+    .jobs(8)
+    .scale(0.4)
+    .belief(BeliefKind::MeasuredRuntime(5))
+    .arrivals(Arrivals::Closed { clients: 4, think_s: 0.0 })
+    .dynamics(DynamicsSpec { sigma: 0.06, theta: 0.25, tick_s: 30.0, diurnal: Some((0.3, 240.0)) })
+    .expect(Invariant::AllComplete)
+    .expect(Invariant::TailWithin(50.0))
+    .expect(Invariant::RuntimeBeliefNoWorse(0.15))
+}
+
+/// An AIMD agent fleet riding a faulted, live-dynamics WAN: every shard
+/// carries its own WANify agent waking on a 5 s analytic schedule, so
+/// the hooked run still coalesces between wakes.
+fn aimd_agents_fleet() -> ScenarioSpec {
+    ScenarioSpec::new(
+        "aimd-agents-fleet",
+        "WANify's per-DC AIMD agents steer the fleet's connection matrix every 5 s while \
+         OU dynamics drift the links and a mid-run straggler bites; the agents schedule \
+         their wakes analytically, the faulted run costs real time over the agent-free \
+         clean baseline, and nobody fails.",
+    )
+    .dcs(4)
+    .jobs(8)
+    .scale(0.8)
+    .arrivals(Arrivals::Closed { clients: 4, think_s: 0.0 })
+    .dynamics(DynamicsSpec { sigma: 0.06, theta: 0.25, tick_s: 30.0, diurnal: None })
+    .agents(5.0)
+    .faults(FaultSchedule::new().straggler(DcId(2), 0.08, 2.0).straggler(DcId(2), 1.0, 80.0))
+    .expect(Invariant::AllComplete)
+    .expect(Invariant::RetriesAtMost(0))
+    .expect(Invariant::DegradedBetween(5.0, 78.5))
+    .expect(Invariant::SlowdownAtLeast(1.05))
+}
+
 /// Every committed scenario, in report order.
 pub fn all() -> Vec<ScenarioSpec> {
     vec![
@@ -159,6 +205,8 @@ pub fn all() -> Vec<ScenarioSpec> {
         diurnal_wave(),
         permanent_outage(),
         regional_storm(),
+        diurnal_live_dynamics(),
+        aimd_agents_fleet(),
     ]
 }
 
@@ -185,7 +233,11 @@ mod tests {
     fn every_scenario_declares_a_directional_invariant() {
         for spec in all() {
             assert!(!spec.invariants.is_empty(), "{} has no invariants", spec.name);
-            assert!(!spec.faults.is_empty(), "{} injects no faults", spec.name);
+            assert!(
+                !spec.faults.is_empty() || spec.has_live_dynamics(),
+                "{} neither injects faults nor moves the network",
+                spec.name
+            );
         }
     }
 

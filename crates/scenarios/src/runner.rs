@@ -210,6 +210,16 @@ pub fn render_markdown(outcomes: &[ScenarioOutcome]) -> String {
             spec.belief.label()
         );
         let _ = writeln!(md, "| faults / policy | {} events / {policy} |", spec.faults.len());
+        if let Some(d) = &spec.dynamics {
+            let _ = writeln!(md, "| dynamics | {} |", d.label());
+        }
+        if let Some(a) = &spec.agent {
+            let _ = writeln!(
+                md,
+                "| agents | AIMD fleet, {:.0} s wake interval (faulted arms only) |",
+                a.interval_s
+            );
+        }
         let _ = writeln!(md);
 
         let row = |r: &FleetReport| {

@@ -8,13 +8,17 @@
 //! satisfy. Adding a scenario to the suite is ~20 lines of spec in
 //! [`crate::catalog`], not a new binary.
 
-use wanify::{BandwidthSource, MeasuredRuntime, Pregauged, StaticIndependent};
+use wanify::{
+    infer_dc_relations, optimize_global, BandwidthSource, MeasuredRuntime, Pregauged,
+    StaticIndependent, WanifyAgent,
+};
 use wanify_gda::{
-    Arrivals, FaultPolicy, FleetConfig, FleetEngine, FleetReport, JobProfile, Kimchi, Scheduler,
-    Tetrium, VanillaSpark,
+    Arrivals, FaultPolicy, FleetAgent, FleetConfig, FleetEngine, FleetReport, JobProfile, Kimchi,
+    Scheduler, Tetrium, VanillaSpark,
 };
 use wanify_netsim::{
-    paper_testbed_n, Backbone, BwMatrix, FaultSchedule, LinkModelParams, NetSim, Topology, VmType,
+    paper_testbed_n, Backbone, BwMatrix, ConnMatrix, FaultSchedule, LinkModelParams, NetSim,
+    Topology, VmType,
 };
 use wanify_workloads::{mixed_trace, regional_mixed_trace, TraceConfig};
 
@@ -48,6 +52,50 @@ impl BeliefKind {
             BeliefKind::MeasuredRuntime(s) => format!("measured-runtime({s}s)"),
         }
     }
+}
+
+/// Live WAN dynamics of a scenario's simulator (`None` on a
+/// [`ScenarioSpec`] keeps the legacy frozen network).
+///
+/// The OU process and the optional diurnal sinusoid are quantized on
+/// `tick_s`, so rate changes stay schedulable and the fleet keeps the
+/// event-coalescing fast path even with bandwidth moving all run long.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicsSpec {
+    /// Relative amplitude of the OU bandwidth noise.
+    pub sigma: f64,
+    /// Mean-reversion rate of the OU process (per second).
+    pub theta: f64,
+    /// Quantization tick in seconds (rate changes fire only here).
+    pub tick_s: f64,
+    /// Optional diurnal wave: `(relative amplitude, period seconds)`.
+    pub diurnal: Option<(f64, f64)>,
+}
+
+impl DynamicsSpec {
+    /// Short human label for reports.
+    pub fn label(&self) -> String {
+        match self.diurnal {
+            Some((a, p)) => format!(
+                "ou(σ={}, θ={}, tick {:.0}s) + diurnal(±{:.0}%, {:.0}s)",
+                self.sigma,
+                self.theta,
+                self.tick_s,
+                a * 100.0,
+                p
+            ),
+            None => format!("ou(σ={}, θ={}, tick {:.0}s)", self.sigma, self.theta, self.tick_s),
+        }
+    }
+}
+
+/// An AIMD agent fleet riding the scenario's faulted arms: every shard
+/// gets its own [`WanifyAgent`] planned from a runtime probe of the
+/// clean network, waking every `interval_s` simulated seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgentSpec {
+    /// Simulated seconds between agent wakes.
+    pub interval_s: f64,
 }
 
 /// Which scheduler serves the fleet.
@@ -263,6 +311,10 @@ pub struct ScenarioSpec {
     pub shards: usize,
     /// Whether the trace is region-homed to the backbone's groups.
     pub regional: bool,
+    /// Live WAN dynamics (`None` = frozen network).
+    pub dynamics: Option<DynamicsSpec>,
+    /// AIMD agent fleet on the faulted arms (`None` = agent-free).
+    pub agent: Option<AgentSpec>,
     /// Directional properties the solo faulted run must satisfy.
     pub invariants: Vec<Invariant>,
 }
@@ -286,6 +338,8 @@ impl ScenarioSpec {
             regauge_every_s: f64::INFINITY,
             shards: 2,
             regional: false,
+            dynamics: None,
+            agent: None,
             invariants: Vec::new(),
         }
     }
@@ -368,6 +422,28 @@ impl ScenarioSpec {
         self
     }
 
+    /// Installs live tick-quantized WAN dynamics.
+    #[must_use]
+    pub fn dynamics(mut self, dynamics: DynamicsSpec) -> Self {
+        assert!(dynamics.tick_s > 0.0, "scenario dynamics must be schedulable (tick_s > 0)");
+        self.dynamics = Some(dynamics);
+        self
+    }
+
+    /// Rides an AIMD agent fleet on the faulted arms, waking every
+    /// `interval_s` simulated seconds.
+    #[must_use]
+    pub fn agents(mut self, interval_s: f64) -> Self {
+        self.agent = Some(AgentSpec { interval_s });
+        self
+    }
+
+    /// Whether the scenario's network moves on its own (live dynamics
+    /// installed), independently of any fault schedule.
+    pub fn has_live_dynamics(&self) -> bool {
+        self.dynamics.is_some()
+    }
+
     /// Appends one invariant.
     #[must_use]
     pub fn expect(mut self, invariant: Invariant) -> Self {
@@ -411,14 +487,50 @@ impl ScenarioSpec {
         }
     }
 
-    /// A fresh simulator, frozen dynamics; `faulted` installs the
-    /// schedule (the no-fault counterfactual passes `false`).
+    /// A fresh simulator — frozen unless a [`DynamicsSpec`] is
+    /// installed; `faulted` installs the fault schedule (the no-fault
+    /// counterfactual passes `false`; live dynamics ride both arms).
     pub fn sim(&self, faulted: bool) -> NetSim {
-        let mut sim = NetSim::new(self.topology(), LinkModelParams::frozen(), self.seed);
+        let params = match self.dynamics {
+            Some(d) => LinkModelParams {
+                dynamics_sigma: d.sigma,
+                dynamics_theta: d.theta,
+                dynamics_tick_s: d.tick_s,
+                snapshot_noise: 0.0,
+                ..LinkModelParams::default()
+            },
+            None => LinkModelParams::frozen(),
+        };
+        let mut sim = NetSim::new(self.topology(), params, self.seed);
+        if let Some(DynamicsSpec { diurnal: Some((amplitude, period_s)), .. }) = self.dynamics {
+            sim.dynamics_mut().set_diurnal(amplitude, period_s, 0.0);
+        }
         if faulted && !self.faults.is_empty() {
             sim.set_fault_schedule(self.faults.clone());
         }
         sim
+    }
+
+    /// Builds the spec's [`FleetAgent`]: a [`WanifyAgent`] planned from
+    /// a runtime probe of the clean (no-fault) network, exactly as the
+    /// paper's gauging step would run before the workload arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no [`AgentSpec`] is installed or planning fails.
+    pub fn build_agent(&self) -> FleetAgent {
+        let spec = self.agent.expect("spec declares an agent");
+        let mut probe = self.sim(false);
+        let bw = probe.measure_runtime(&ConnMatrix::filled(self.n_dcs, 1), 5).bw;
+        let relations = infer_dc_relations(&bw, 30.0)
+            .unwrap_or_else(|e| panic!("scenario {}: relation inference failed: {e:?}", self.name));
+        let plan = optimize_global(&bw, &relations, 8, None, None)
+            .unwrap_or_else(|e| panic!("scenario {}: global planning failed: {e:?}", self.name));
+        FleetAgent {
+            conns: plan.max_cons.clone(),
+            hook: Box::new(WanifyAgent::new(&plan).with_relations(relations)),
+            interval_s: spec.interval_s,
+        }
     }
 
     /// The fleet-layer config (admission, regauge, recovery policy).
@@ -437,14 +549,22 @@ impl ScenarioSpec {
     }
 
     /// A fresh solo fleet engine with an overridden belief (the
-    /// counterfactual-arm hook).
+    /// counterfactual-arm hook). A declared agent rides only the
+    /// faulted arms: the no-fault counterfactual stays agent-free, so
+    /// [`Invariant::SlowdownAtLeast`] compares the hooked fleet against
+    /// an unassisted clean baseline.
     pub fn engine_with(&self, faulted: bool, belief: BeliefKind) -> FleetEngine {
-        FleetEngine::new(
+        let engine = FleetEngine::new(
             self.sim(faulted),
             self.sched.build(),
             belief.build(self.n_dcs),
             self.fleet_config(),
-        )
+        );
+        if faulted && self.agent.is_some() {
+            engine.with_agent(self.build_agent())
+        } else {
+            engine
+        }
     }
 }
 
@@ -506,5 +626,34 @@ mod tests {
     #[should_panic(expected = "at least 2 shards")]
     fn single_shard_arm_is_rejected() {
         let _ = ScenarioSpec::new("t", "test").shards(1);
+    }
+
+    #[test]
+    fn dynamics_and_agent_compose() {
+        let spec = ScenarioSpec::new("t", "test")
+            .dynamics(DynamicsSpec {
+                sigma: 0.05,
+                theta: 0.2,
+                tick_s: 30.0,
+                diurnal: Some((0.2, 100.0)),
+            })
+            .agents(5.0);
+        assert!(spec.has_live_dynamics());
+        let mut sim = spec.sim(false);
+        assert!(sim.coalescible(), "scenario dynamics must stay schedulable");
+        assert!(sim.dynamics_mut().next_change_after(0.0).is_some());
+        // The faulted arm builds its agent (probe + plan) without issue.
+        let _ = spec.engine(true);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedulable")]
+    fn continuous_dynamics_are_rejected() {
+        let _ = ScenarioSpec::new("t", "test").dynamics(DynamicsSpec {
+            sigma: 0.05,
+            theta: 0.2,
+            tick_s: 0.0,
+            diurnal: None,
+        });
     }
 }
