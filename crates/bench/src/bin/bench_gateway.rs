@@ -1,0 +1,161 @@
+//! Emits `BENCH_gateway.json`: the goodput-vs-offered-load curve of the
+//! serving gateway, from half saturation to three times beyond it.
+//!
+//! The bench first calibrates the fleet's saturation rate (admission
+//! slots over the unloaded mean makespan), then sweeps an open-loop
+//! Poisson load at fixed multiples of it — the same job mix and arrival
+//! pattern at every point, only compressed in time. Each point runs
+//! twice inside a 1-thread rayon pool and once inside a 4-thread pool,
+//! and all three passes must be bit-identical: the gateway is
+//! deterministic in simulated time like everything else here.
+//!
+//! The committed JSON carries simulated metrics only (no wall-clock), so
+//! CI regenerates it and fails on drift; the no-collapse floor — goodput
+//! at 2x saturation stays ≥ 80 % of the goodput at saturation itself —
+//! is asserted here, at generation time, on every regeneration.
+//!
+//! Usage: `bench_gateway [--smoke] [--out PATH]`
+//!   --smoke  quarter-size sweep (CI lane); skips the JSON unless --out
+//!            is given.
+//!   --out    JSON output path (default `BENCH_gateway.json`, full
+//!            mode).
+
+use wanify::Pregauged;
+use wanify_gateway::{Gateway, GatewayConfig, GatewayReport, GatewayRequest};
+use wanify_gda::{FleetConfig, FleetEngine, Tetrium};
+use wanify_netsim::{paper_testbed_n, BwMatrix, LinkModelParams, NetSim, VmType};
+use wanify_workloads::{offered_load, LoadSpec};
+
+const N_DCS: usize = 3;
+const SEED: u64 = 77;
+const MAX_CONCURRENT: usize = 2;
+/// Deadline slack granted to every request, in unloaded mean makespans.
+const SLACK_MAKESPANS: f64 = 4.0;
+/// Offered load, in multiples of the calibrated saturation rate.
+const MULTIPLES: [f64; 5] = [0.5, 1.0, 1.5, 2.0, 3.0];
+/// The no-collapse floor: goodput at 2x saturation must stay at least
+/// this fraction of the goodput at saturation itself.
+const FLOOR: f64 = 0.8;
+
+fn engine() -> FleetEngine {
+    FleetEngine::new(
+        NetSim::new(paper_testbed_n(VmType::t2_medium(), N_DCS), LinkModelParams::frozen(), SEED),
+        Box::new(Tetrium::new()),
+        Box::new(Pregauged::new(BwMatrix::filled(N_DCS, 300.0))),
+        FleetConfig { max_concurrent: MAX_CONCURRENT, ..FleetConfig::default() },
+    )
+}
+
+fn serve(requests: Vec<GatewayRequest>) -> GatewayReport {
+    Gateway::new(engine(), GatewayConfig { queue_depth: 8, ..GatewayConfig::default() })
+        .serve(requests)
+        .expect("gateway sweep point failed to run")
+}
+
+/// One sweep point, rendered as the committed JSON row (simulated
+/// metrics only, fixed precision — byte-compared across reruns).
+fn row(multiple: f64, rate_per_s: f64, r: &GatewayReport) -> String {
+    let s = &r.fleet.serving;
+    let good = r.good();
+    format!(
+        "    {{ \"load_multiple\": {multiple:.2}, \"rate_per_s\": {rate_per_s:.6}, \
+         \"offered\": {}, \"served\": {}, \"good\": {good}, \"shed\": {}, \"rejected\": {}, \
+         \"deadline_misses\": {}, \"goodput_per_s\": {:.6}, \"latency_p50_s\": {:.3}, \
+         \"latency_p99_s\": {:.3}, \"duration_s\": {:.3} }}",
+        s.offered,
+        r.served(),
+        s.shed_jobs,
+        s.rejected,
+        s.deadline_misses,
+        good as f64 / r.fleet.duration_s.max(1e-9),
+        r.latency.p50,
+        r.latency.p99,
+        r.fleet.duration_s,
+    )
+}
+
+fn sweep(jobs: usize) -> (f64, Vec<String>) {
+    // Calibration: the same mix, trickled far below saturation with no
+    // deadlines, gives the unloaded mean makespan.
+    let base = LoadSpec::new(N_DCS, jobs, SEED, 1e-3).scaled(0.8);
+    let unloaded = serve(
+        offered_load(&base)
+            .into_iter()
+            .map(|o| GatewayRequest { job: o.job, arrival_s: o.arrival_s, deadline_s: None })
+            .collect(),
+    );
+    let mean_makespan_s = unloaded.fleet.makespan().mean;
+    let saturation_rate = MAX_CONCURRENT as f64 / mean_makespan_s.max(1e-9);
+    let slack_s = SLACK_MAKESPANS * mean_makespan_s;
+
+    let rows = MULTIPLES
+        .iter()
+        .map(|&m| {
+            let rate = m * saturation_rate;
+            let requests: Vec<GatewayRequest> =
+                offered_load(&base.clone().at_rate(rate).with_deadline_slack(slack_s))
+                    .into_iter()
+                    .map(|o| GatewayRequest {
+                        job: o.job,
+                        arrival_s: o.arrival_s,
+                        deadline_s: o.deadline_s,
+                    })
+                    .collect();
+            let a = row(m, rate, &serve(requests.clone()));
+            let b = row(m, rate, &serve(requests));
+            assert_eq!(a, b, "gateway sweep point {m}x must be bit-identical across runs");
+            a
+        })
+        .collect();
+    (saturation_rate, rows)
+}
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool construction")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = match args.iter().position(|a| a == "--out") {
+        Some(i) => match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => Some(path.clone()),
+            _ => {
+                eprintln!("error: --out requires a path argument");
+                std::process::exit(2);
+            }
+        },
+        None => (!smoke).then(|| "BENCH_gateway.json".to_string()),
+    };
+    let jobs = if smoke { 10 } else { 40 };
+
+    let (saturation_rate, rows) = pool(1).install(|| sweep(jobs));
+    let (_, rows_mt) = pool(4).install(|| sweep(jobs));
+    assert_eq!(rows, rows_mt, "gateway sweep must be bit-identical across thread counts");
+
+    let goodput = |r: &String| -> f64 {
+        let tail = r.split("\"goodput_per_s\": ").nth(1).expect("row carries goodput");
+        tail.split(',').next().expect("goodput field").parse().expect("goodput parses")
+    };
+    let at_sat = goodput(&rows[1]);
+    let at_2x = goodput(&rows[3]);
+    assert!(
+        at_2x >= FLOOR * at_sat,
+        "goodput collapse past saturation: {at_2x:.4}/s at 2x vs {at_sat:.4}/s at 1x \
+         (floor {FLOOR})"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"gateway\",\n  \"mode\": \"{}\",\n  \"jobs_per_point\": {jobs},\n  \
+         \"max_concurrent\": {MAX_CONCURRENT},\n  \"saturation_rate_per_s\": \
+         {saturation_rate:.6},\n  \"deadline_slack_makespans\": {SLACK_MAKESPANS:.1},\n  \
+         \"goodput_floor_at_2x\": {FLOOR:.2},\n  \"sweep\": [\n{}\n  ]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        rows.join(",\n"),
+    );
+    print!("{json}");
+    if let Some(path) = out {
+        std::fs::write(&path, &json).expect("write benchmark JSON");
+        eprintln!("wrote {path}");
+    }
+}

@@ -68,11 +68,11 @@ fn main() {
         let _ = writeln!(
             rows,
             "    {{ \"name\": \"{}\", \"solo_duration_s\": {:.2}, \"sharded_duration_s\": \
-             {:.2}, \"retries\": {}, \"replacements\": {}, \"stalled_flows\": {}, \
+             {}, \"retries\": {}, \"replacements\": {}, \"stalled_flows\": {}, \
              \"failed_jobs\": {}, \"degraded_s\": {:.2}, \"invariants\": {} }},",
             o.spec.name,
             o.solo.duration_s,
-            o.sharded.fleet.duration_s,
+            o.sharded.as_ref().map_or("null".to_string(), |s| format!("{:.2}", s.fleet.duration_s)),
             f.retries,
             f.replacements,
             f.stalled_flows,

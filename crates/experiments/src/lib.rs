@@ -27,6 +27,7 @@
 //! | `sec583` | heterogeneous-VM benefits |
 //! | `fleet`  | beyond the paper: belief provenances under multi-tenant contention |
 //! | `sharded` | beyond the paper: shard-count sweep of the sharded multi-sim fleet |
+//! | `gateway` | beyond the paper: serving-gateway goodput across an offered-load sweep |
 //! | `model`  | prediction-model training quality |
 //! | `scenarios` | beyond the paper: the fault-injection scenario suite |
 //! | `scenario:<name>` | one committed fault-injection scenario |
@@ -44,6 +45,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod fleet;
+pub mod gateway;
 pub mod model;
 pub mod registry;
 pub mod sec583;

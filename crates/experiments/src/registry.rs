@@ -8,7 +8,7 @@
 use crate::Effort;
 
 /// The paper-artifact and fleet-study ids, in report order.
-pub const BASE_IDS: [&str; 17] = [
+pub const BASE_IDS: [&str; 18] = [
     "table1",
     "table2",
     "fig2",
@@ -25,6 +25,7 @@ pub const BASE_IDS: [&str; 17] = [
     "model",
     "fleet",
     "sharded",
+    "gateway",
     "scenarios",
 ];
 
@@ -71,6 +72,7 @@ pub fn run(id: &str, effort: Effort, seed: u64) -> Option<String> {
         "model" => crate::model::run(effort, seed).render(),
         "fleet" => crate::fleet::run(effort, seed).render(),
         "sharded" => crate::sharded::run(effort, seed).render(),
+        "gateway" => crate::gateway::run(effort, seed).render(),
         "scenarios" => {
             wanify_scenarios::render_markdown(&wanify_scenarios::run_all(&wanify_scenarios::all()))
         }
@@ -88,8 +90,11 @@ mod tests {
         let ids = experiment_ids();
         assert!(ids.iter().any(|i| i == "fig5"));
         assert!(ids.iter().any(|i| i == "sharded"));
+        assert!(ids.iter().any(|i| i == "gateway"));
         assert!(ids.iter().any(|i| i == "scenario:outage-recovery"));
-        assert!(ids.len() >= BASE_IDS.len() + 6, "six scenarios ride along");
+        assert!(ids.iter().any(|i| i == "scenario:sustained-overload-shedding"));
+        assert!(ids.iter().any(|i| i == "scenario:belief-breaker-trip"));
+        assert!(ids.len() >= BASE_IDS.len() + 8, "the scenario catalog rides along");
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! Circuit breaker on gauge/belief failures: degraded answers instead of
+//! failed queries.
+//!
+//! [`CircuitBreakerSource`] wraps a primary [`BandwidthSource`] and a
+//! fallback (typically a `Pregauged` static belief). Every primary gauge
+//! failure is answered by the fallback; `failure_threshold` *consecutive*
+//! failures trip the breaker open, after which the primary is not even
+//! tried for `cooldown_s` simulated seconds. The first gauge after the
+//! cooldown is a half-open probe: success closes the breaker (a
+//! recovery), failure re-opens it for another cooldown (counted as a
+//! re-trip). All transitions are keyed on simulated time, so breaker
+//! behaviour is bit-deterministic like everything else here.
+//!
+//! [`FlakySource`] is the matching deterministic fault injector: it fails
+//! every gauge before a configured simulated instant and delegates to its
+//! inner source afterwards — the scenario suite's stand-in for a
+//! monitoring plane that is down for a window.
+
+use std::sync::{Arc, Mutex};
+
+use wanify::{BandwidthSource, WanifyError};
+use wanify_netsim::{BwMatrix, NetSim};
+
+/// Knobs of the belief circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive primary-gauge failures that trip the breaker open
+    /// (≥ 1; `1` trips on the first failure).
+    pub failure_threshold: u32,
+    /// Simulated seconds the breaker stays open before a half-open
+    /// probe retries the primary.
+    pub cooldown_s: f64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self { failure_threshold: 3, cooldown_s: 60.0 }
+    }
+}
+
+/// Observable counters of one breaker's life.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerStats {
+    /// Primary gauges that returned an error.
+    pub primary_failures: u64,
+    /// Times the breaker opened (threshold trips and failed half-open
+    /// probes alike).
+    pub trips: u64,
+    /// Gauges answered by the fallback belief.
+    pub fallbacks: u64,
+    /// Half-open probes attempted after a cooldown.
+    pub probes: u64,
+    /// Half-open probes that found the primary healthy and closed the
+    /// breaker.
+    pub recoveries: u64,
+}
+
+/// A cloneable read handle onto a breaker's [`BreakerStats`]. The
+/// breaker itself disappears into the fleet engine as a boxed
+/// [`BandwidthSource`]; the handle is how the gateway folds its counters
+/// into the final report.
+#[derive(Debug, Clone)]
+pub struct BreakerHandle(Arc<Mutex<BreakerStats>>);
+
+impl BreakerHandle {
+    /// A snapshot of the counters so far.
+    pub fn stats(&self) -> BreakerStats {
+        *self.0.lock().expect("breaker stats lock")
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    Closed,
+    Open { until_s: f64 },
+}
+
+/// The breaker itself; see the module docs.
+pub struct CircuitBreakerSource {
+    primary: Box<dyn BandwidthSource>,
+    fallback: Box<dyn BandwidthSource>,
+    cfg: BreakerConfig,
+    consecutive_failures: u32,
+    phase: Phase,
+    stats: Arc<Mutex<BreakerStats>>,
+    name: String,
+}
+
+impl CircuitBreakerSource {
+    /// Wraps `primary` with `fallback` under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is zero or the cooldown is not finite and
+    /// positive.
+    pub fn new(
+        primary: Box<dyn BandwidthSource>,
+        fallback: Box<dyn BandwidthSource>,
+        cfg: BreakerConfig,
+    ) -> Self {
+        assert!(cfg.failure_threshold >= 1, "a breaker needs a positive failure threshold");
+        assert!(
+            cfg.cooldown_s.is_finite() && cfg.cooldown_s > 0.0,
+            "breaker cooldown must be finite and positive, got {}",
+            cfg.cooldown_s
+        );
+        let name = format!("breaker({}->{})", primary.name(), fallback.name());
+        Self {
+            primary,
+            fallback,
+            cfg,
+            consecutive_failures: 0,
+            phase: Phase::Closed,
+            stats: Arc::new(Mutex::new(BreakerStats::default())),
+            name,
+        }
+    }
+
+    /// A stats handle to read after the breaker has been consumed by the
+    /// fleet engine.
+    pub fn stats_handle(&self) -> BreakerHandle {
+        BreakerHandle(Arc::clone(&self.stats))
+    }
+
+    fn note(&self, f: impl FnOnce(&mut BreakerStats)) {
+        f(&mut self.stats.lock().expect("breaker stats lock"));
+    }
+}
+
+impl BandwidthSource for CircuitBreakerSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn gauge(&mut self, net: &mut NetSim) -> Result<BwMatrix, WanifyError> {
+        if let Phase::Open { until_s } = self.phase {
+            if net.time_s() < until_s {
+                self.note(|s| s.fallbacks += 1);
+                return self.fallback.gauge(net);
+            }
+            // Cooldown over: half-open probe.
+            self.note(|s| s.probes += 1);
+            return match self.primary.gauge(net) {
+                Ok(bw) => {
+                    self.phase = Phase::Closed;
+                    self.consecutive_failures = 0;
+                    self.note(|s| s.recoveries += 1);
+                    Ok(bw)
+                }
+                Err(_) => {
+                    self.phase = Phase::Open { until_s: net.time_s() + self.cfg.cooldown_s };
+                    self.note(|s| {
+                        s.primary_failures += 1;
+                        s.trips += 1;
+                        s.fallbacks += 1;
+                    });
+                    self.fallback.gauge(net)
+                }
+            };
+        }
+        match self.primary.gauge(net) {
+            Ok(bw) => {
+                self.consecutive_failures = 0;
+                Ok(bw)
+            }
+            Err(_) => {
+                self.consecutive_failures += 1;
+                let tripped = self.consecutive_failures >= self.cfg.failure_threshold;
+                if tripped {
+                    self.phase = Phase::Open { until_s: net.time_s() + self.cfg.cooldown_s };
+                }
+                self.note(|s| {
+                    s.primary_failures += 1;
+                    if tripped {
+                        s.trips += 1;
+                    }
+                    s.fallbacks += 1;
+                });
+                self.fallback.gauge(net)
+            }
+        }
+    }
+}
+
+/// A deterministic gauge fault injector: fails every gauge strictly
+/// before `fail_until_s` simulated seconds, then delegates to the inner
+/// source.
+pub struct FlakySource {
+    inner: Box<dyn BandwidthSource>,
+    fail_until_s: f64,
+    name: String,
+}
+
+impl FlakySource {
+    /// Wraps `inner`; gauges fail while `sim.time_s() < fail_until_s`.
+    pub fn new(inner: Box<dyn BandwidthSource>, fail_until_s: f64) -> Self {
+        let name = format!("flaky({})", inner.name());
+        Self { inner, fail_until_s, name }
+    }
+}
+
+impl BandwidthSource for FlakySource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn gauge(&mut self, net: &mut NetSim) -> Result<BwMatrix, WanifyError> {
+        if net.time_s() < self.fail_until_s {
+            return Err(WanifyError::InvalidConfig(format!(
+                "injected gauge outage until t={:.1}s",
+                self.fail_until_s
+            )));
+        }
+        self.inner.gauge(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wanify::Pregauged;
+    use wanify_netsim::{paper_testbed_n, LinkModelParams, VmType};
+
+    fn sim() -> NetSim {
+        NetSim::new(paper_testbed_n(VmType::t2_medium(), 3), LinkModelParams::frozen(), 1)
+    }
+
+    fn pregauged(mbps: f64) -> Box<dyn BandwidthSource> {
+        Box::new(Pregauged::new(BwMatrix::filled(3, mbps)))
+    }
+
+    /// Advances the simulator clock without any traffic.
+    fn warp(net: &mut NetSim, to_s: f64) {
+        while net.time_s() < to_s {
+            net.advance(to_s - net.time_s());
+        }
+    }
+
+    #[test]
+    fn breaker_serves_fallback_then_trips_then_recovers() {
+        let mut net = sim();
+        let primary = Box::new(FlakySource::new(pregauged(500.0), 100.0));
+        let mut breaker = CircuitBreakerSource::new(
+            primary,
+            pregauged(200.0),
+            BreakerConfig { failure_threshold: 2, cooldown_s: 50.0 },
+        );
+        let handle = breaker.stats_handle();
+
+        // First failure: fallback answer, breaker still closed.
+        let bw = breaker.gauge(&mut net).unwrap();
+        assert_eq!(bw.get(0, 1), 200.0, "degraded answer, not an error");
+        assert_eq!(handle.stats().trips, 0);
+
+        // Second consecutive failure trips it open.
+        assert!(breaker.gauge(&mut net).is_ok());
+        assert_eq!(handle.stats().trips, 1);
+        assert_eq!(handle.stats().fallbacks, 2);
+
+        // While open the primary is not even probed.
+        warp(&mut net, 10.0);
+        assert!(breaker.gauge(&mut net).is_ok());
+        assert_eq!(handle.stats().primary_failures, 2, "open breaker skips the primary");
+
+        // Probe during the outage re-opens (a re-trip).
+        warp(&mut net, 60.0);
+        assert!(breaker.gauge(&mut net).is_ok());
+        assert_eq!(handle.stats().probes, 1);
+        assert_eq!(handle.stats().trips, 2);
+
+        // Probe after the outage heals recovers the primary.
+        warp(&mut net, 120.0);
+        let bw = breaker.gauge(&mut net).unwrap();
+        assert_eq!(bw.get(0, 1), 500.0, "recovered primary answers again");
+        assert_eq!(handle.stats().recoveries, 1);
+
+        // Healthy primary keeps answering; no further fallbacks.
+        let before = handle.stats().fallbacks;
+        assert!(breaker.gauge(&mut net).is_ok());
+        assert_eq!(handle.stats().fallbacks, before);
+    }
+
+    #[test]
+    fn flaky_source_heals_on_schedule() {
+        let mut net = sim();
+        let mut flaky = FlakySource::new(pregauged(300.0), 5.0);
+        assert!(flaky.gauge(&mut net).is_err());
+        warp(&mut net, 5.0);
+        assert!(flaky.gauge(&mut net).is_ok());
+        assert!(flaky.name().starts_with("flaky("));
+    }
+
+    #[test]
+    fn intermittent_failures_below_threshold_never_trip() {
+        let mut net = sim();
+        // Fails before t=1 only; threshold 3 is never reached because a
+        // success resets the consecutive count.
+        let primary = Box::new(FlakySource::new(pregauged(500.0), 1.0));
+        let mut breaker =
+            CircuitBreakerSource::new(primary, pregauged(200.0), BreakerConfig::default());
+        let handle = breaker.stats_handle();
+        assert!(breaker.gauge(&mut net).is_ok());
+        warp(&mut net, 2.0);
+        for _ in 0..5 {
+            assert!(breaker.gauge(&mut net).is_ok());
+        }
+        assert_eq!(handle.stats().primary_failures, 1);
+        assert_eq!(handle.stats().trips, 0);
+        assert_eq!(handle.stats().fallbacks, 1);
+    }
+}

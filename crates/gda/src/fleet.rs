@@ -83,6 +83,36 @@ pub struct FaultCounters {
     pub degraded_s: f64,
 }
 
+/// Serving-layer counters of a gateway-fronted run (all zero when the
+/// fleet replayed a plain trace with no gateway in front).
+///
+/// The gateway crate folds its admission decisions into these so one
+/// [`FleetReport`] carries the whole serving story: how much load was
+/// offered, how much was refused at the front door, shed from the queue,
+/// or served late, and how the belief circuit breaker behaved.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServingCounters {
+    /// Requests offered to the gateway (admitted or not).
+    pub offered: u64,
+    /// Requests refused because the submission queue was full.
+    pub rejected: u64,
+    /// Requests refused by a per-tenant-class token bucket.
+    pub quota_rejected: u64,
+    /// Queued requests shed because their predicted makespan could no
+    /// longer meet their deadline.
+    pub shed_jobs: u64,
+    /// Requests served to completion but past their deadline.
+    pub deadline_misses: u64,
+    /// Times the belief circuit breaker tripped open (including re-trips
+    /// from a failed half-open probe).
+    pub breaker_trips: u64,
+    /// Gauges answered by the fallback belief while the primary was
+    /// failing or the breaker was open.
+    pub breaker_fallbacks: u64,
+    /// Half-open probes that found the primary healthy again.
+    pub breaker_recoveries: u64,
+}
+
 /// Serving-layer knobs of a [`FleetEngine`].
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
@@ -141,6 +171,10 @@ pub enum Arrivals {
 /// One query's fleet-level outcome.
 #[derive(Debug, Clone)]
 pub struct JobOutcome {
+    /// Index of the job in the run's submission order (the trace index,
+    /// or the value [`FleetRun::submit_job`] returned). Outcomes land in
+    /// completion order, so this is the join key back to the request.
+    pub job_idx: usize,
     /// The per-query report, exactly as `run_job` would shape it.
     pub report: QueryReport,
     /// Simulated time the job entered the arrival queue.
@@ -225,6 +259,8 @@ pub struct FleetReport {
     pub belief: String,
     /// Fault-attributed counters (all zero when no faults were injected).
     pub faults: FaultCounters,
+    /// Serving-layer counters (all zero when no gateway fronted the run).
+    pub serving: ServingCounters,
     /// Queue-wait order statistics, computed at construction.
     queue_wait: Percentiles,
     /// Makespan order statistics, computed at construction.
@@ -251,9 +287,18 @@ impl FleetReport {
             scheduler,
             belief,
             faults,
+            serving: ServingCounters::default(),
             queue_wait: Percentiles::of(&waits),
             makespan: Percentiles::of(&makespans),
         }
+    }
+
+    /// Attaches the gateway's serving-layer counters; builder-style, so
+    /// the trace-replay constructors stay untouched.
+    #[must_use]
+    pub fn with_serving(mut self, serving: ServingCounters) -> Self {
+        self.serving = serving;
+        self
     }
 
     /// Number of jobs that were aborted by the fault policy.
@@ -346,6 +391,7 @@ impl Ord for Timer {
 #[derive(Debug)]
 struct ActiveRun {
     run: JobRun,
+    job_idx: usize,
     arrived_s: f64,
     admitted_s: f64,
     /// Stall interventions this job has absorbed so far.
@@ -500,14 +546,15 @@ impl FleetEngine {
 
 /// Samples the absolute arrival time of each of `jobs` jobs from a
 /// seeded Poisson stream — the one arrival-time source shared by
-/// [`FleetRun::start`] and the sharded fleet's thinning path, so both
-/// draw bit-identical schedules from identical inputs.
+/// [`FleetRun::start`], the sharded fleet's thinning path, and the
+/// serving gateway's open-loop load generator, so all of them draw
+/// bit-identical schedules from identical inputs.
 ///
 /// # Errors
 ///
 /// Returns [`WanifyError::InvalidConfig`] for a rate that is not finite
 /// and positive.
-pub(crate) fn poisson_arrival_times(
+pub fn poisson_arrival_times(
     jobs: usize,
     rate_per_s: f64,
     seed: u64,
@@ -698,6 +745,82 @@ impl FleetRun {
         Ok(run)
     }
 
+    /// Seeds an empty serving run: no trace, no arrival timers. A
+    /// front-end (the gateway crate) feeds it incrementally through
+    /// [`FleetRun::submit_job`] and steps it with [`FleetRun::serve_step`],
+    /// owning queueing and admission policy itself — this run's internal
+    /// pending queue only ever holds jobs the front-end has already
+    /// decided to admit.
+    pub fn start_serving(fleet: FleetEngine) -> Self {
+        let mut run = Self {
+            fleet,
+            timers: BinaryHeap::new(),
+            seq: 0,
+            pending: VecDeque::new(),
+            slots: Vec::new(),
+            group_owner: HashMap::new(),
+            stall_watch: HashSet::new(),
+            counters: FaultCounters::default(),
+            running: 0,
+            outcomes: Vec::new(),
+            first_arrival_s: f64::INFINITY,
+            next_closed_job: 0,
+            closed_think_s: 0.0,
+            closed_clients: 0,
+            closed_loop: false,
+            jobs: Vec::new(),
+        };
+        run.arm_agent();
+        run
+    }
+
+    /// Submits one job arriving *now* (an arrival timer at the current
+    /// simulated time) and returns its job index — the key its
+    /// [`JobOutcome`] can later be matched by, since outcomes land in
+    /// completion order. The serving seam: a front-end calls this between
+    /// [`FleetRun::serve_step`] windows.
+    pub fn submit_job(&mut self, job: JobProfile) -> usize {
+        let idx = self.jobs.len();
+        self.jobs.push(job);
+        let now = self.fleet.engine.sim().time_s();
+        self.push_timer(now, TimerKind::Arrival(idx));
+        idx
+    }
+
+    /// Queries currently running (admitted, not yet completed).
+    pub fn running(&self) -> usize {
+        self.running
+    }
+
+    /// Submitted jobs not yet completed: running, queued inside the run,
+    /// or holding an unfired arrival timer. A serving front-end admits
+    /// while `in_service() < max_concurrent()` so nothing it submits
+    /// waits invisibly inside the run.
+    pub fn in_service(&self) -> usize {
+        self.jobs.len() - self.outcomes.len()
+    }
+
+    /// The admission limit of the underlying fleet.
+    pub fn max_concurrent(&self) -> usize {
+        self.fleet.config.max_concurrent
+    }
+
+    /// Outcomes so far, in completion order.
+    pub fn outcomes(&self) -> &[JobOutcome] {
+        &self.outcomes
+    }
+
+    /// The shared belief cache's current bandwidth matrix, if anything
+    /// has been gauged yet (admission-control estimators read this).
+    pub fn belief_bw(&self) -> Option<&BwMatrix> {
+        self.fleet.belief.as_ref().map(|(bw, _)| bw)
+    }
+
+    /// Read access to the underlying simulator (topology, time, stats).
+    pub fn sim(&self) -> &NetSim {
+        self.fleet.engine.sim()
+    }
+
     /// Schedules the installed agent's first wake, one interval in.
     fn arm_agent(&mut self) {
         if let Some(agent) = &self.fleet.agent {
@@ -717,10 +840,19 @@ impl FleetRun {
     }
 
     /// Advances the event loop until every job completes or simulated
-    /// time reaches `deadline_s`, whichever comes first. Timers due
-    /// exactly at the deadline still fire; in-flight transfers are served
-    /// up to — including fractionally into — the deadline, exactly as a
-    /// foreign tenant's timer would pause them.
+    /// time reaches `deadline_s`, whichever comes first. In-flight
+    /// transfers are served up to — including fractionally into — the
+    /// deadline, exactly as a foreign tenant's timer would pause them.
+    ///
+    /// **Deadline/timer tie semantics** (pinned; incremental drivers like
+    /// the sharded fleet's sync windows and the serving gateway rely on
+    /// them): a timer due *exactly* at `deadline_s` fires before the call
+    /// returns, and its same-instant consequences — queue admissions, the
+    /// admitted job's first compute timer or shuffle submission — are
+    /// fully processed. Anything such a timer schedules *strictly later*
+    /// than the deadline stays pending for the next call. The deadline is
+    /// therefore inclusive: `run_until(t)` leaves the run exactly as an
+    /// unbounded run would look the instant after time `t`'s events fired.
     ///
     /// # Errors
     ///
@@ -728,7 +860,60 @@ impl FleetRun {
     /// can no longer make progress (no pending timers and only rate-zero
     /// flows in flight), independent of the deadline.
     pub fn run_until(&mut self, deadline_s: f64) -> Result<(), WanifyError> {
+        self.drive(deadline_s, false).map(|_| ())
+    }
+
+    /// Advances one serving window: runs until simulated time reaches
+    /// `deadline_s` or at least one job completes, whichever comes first,
+    /// and returns how many jobs completed during the call. Unlike
+    /// [`FleetRun::run_until`], a run whose every submitted job has
+    /// already finished idles *forward* — the WAN clock (and any live
+    /// dynamics or scheduled faults) advances to the window's edge — so a
+    /// front-end can interleave [`FleetRun::submit_job`] calls with
+    /// fixed-size windows and the quiet stretches between arrivals still
+    /// cost simulated time. Returning on the first completion lets the
+    /// front-end refill freed admission slots mid-window; the same
+    /// deadline-tie semantics as `run_until` apply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline_s` is not finite (a serving window needs an
+    /// edge to idle toward).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WanifyError`] exactly as [`FleetRun::run_until`] does.
+    pub fn serve_step(&mut self, deadline_s: f64) -> Result<usize, WanifyError> {
+        assert!(deadline_s.is_finite(), "serving windows need a finite deadline, got {deadline_s}");
+        let done = self.drive(deadline_s, true)?;
+        if done > 0 {
+            return Ok(done);
+        }
+        // Nothing completed and nothing is left to do: idle the WAN
+        // forward to the window's edge (scheduled faults and dynamics
+        // still apply along the way).
+        while self.finished() && self.time_s() < deadline_s {
+            let before = self.time_s();
+            let events = self.fleet.engine.advance_until(deadline_s);
+            debug_assert!(events.is_empty(), "an idle fleet has no flow groups to complete");
+            if self.time_s() <= before {
+                break;
+            }
+        }
+        Ok(0)
+    }
+
+    /// The event-loop core behind [`FleetRun::run_until`] and
+    /// [`FleetRun::serve_step`]: advances until every job completes, the
+    /// deadline is reached, or — with `stop_on_completion` — at least one
+    /// job has completed and its instant is fully processed. Returns the
+    /// number of jobs completed during the call.
+    fn drive(&mut self, deadline_s: f64, stop_on_completion: bool) -> Result<usize, WanifyError> {
+        let completed_at_entry = self.outcomes.len();
         while self.outcomes.len() < self.jobs.len() {
+            if stop_on_completion && self.outcomes.len() > completed_at_entry {
+                break;
+            }
             let now = self.fleet.engine.sim().time_s();
 
             // Closed loop: every completion frees a client, who thinks for
@@ -804,7 +989,7 @@ impl FleetRun {
             while self.running < self.fleet.config.max_concurrent && !self.pending.is_empty() {
                 let (idx, arrived_s) = self.pending.pop_front().expect("non-empty");
                 let job = self.jobs[idx].clone();
-                let slot = self.admit(job, arrived_s)?;
+                let slot = self.admit(idx, job, arrived_s)?;
                 let step = self.slots[slot]
                     .as_mut()
                     .expect("just admitted")
@@ -822,7 +1007,7 @@ impl FleetRun {
                 break;
             }
             if now >= deadline_s {
-                return Ok(());
+                return Ok(self.outcomes.len() - completed_at_entry);
             }
 
             let next_timer_s = self.timers.peek().map_or(f64::INFINITY, |t| t.at_s);
@@ -868,6 +1053,10 @@ impl FleetRun {
             }
             for event in events {
                 let slot = self.group_owner.remove(&event.group).expect("every group has an owner");
+                // A watched group that drained before its StallCheck fired
+                // is done with the watchdog: sweep it so the watch set
+                // only ever holds groups that are still in flight.
+                self.stall_watch.remove(&event.group);
                 let step = self.slots[slot]
                     .as_mut()
                     .expect("group completion for a live run")
@@ -876,7 +1065,7 @@ impl FleetRun {
                 self.dispatch(slot, step);
             }
         }
-        Ok(())
+        Ok(self.outcomes.len() - completed_at_entry)
     }
 
     /// Finalizes the run into its report.
@@ -934,7 +1123,12 @@ impl FleetRun {
 
     /// Admits one job: refreshes the shared belief if stale and builds its
     /// state machine in a free slot.
-    fn admit(&mut self, job: JobProfile, arrived_s: f64) -> Result<usize, WanifyError> {
+    fn admit(
+        &mut self,
+        job_idx: usize,
+        job: JobProfile,
+        arrived_s: f64,
+    ) -> Result<usize, WanifyError> {
         let fleet = &mut self.fleet;
         let now = fleet.engine.sim().time_s();
         let stale = match &fleet.belief {
@@ -966,7 +1160,7 @@ impl FleetRun {
             conns,
         )?;
         let admitted_s = fleet.engine.sim().time_s();
-        let active = ActiveRun { run, arrived_s, admitted_s, attempts: 0, retry: None };
+        let active = ActiveRun { run, job_idx, arrived_s, admitted_s, attempts: 0, retry: None };
         let slot = self.slots.iter().position(Option::is_none).unwrap_or_else(|| {
             self.slots.push(None);
             self.slots.len() - 1
@@ -991,6 +1185,7 @@ impl FleetRun {
                 let active = self.slots[slot].take().expect("finalizing a live run");
                 self.running -= 1;
                 self.outcomes.push(JobOutcome {
+                    job_idx: active.job_idx,
                     report: *report,
                     arrived_s: active.arrived_s,
                     admitted_s: active.admitted_s,
@@ -1002,6 +1197,7 @@ impl FleetRun {
                 let active = self.slots[slot].take().expect("finalizing a live run");
                 self.running -= 1;
                 self.outcomes.push(JobOutcome {
+                    job_idx: active.job_idx,
                     report: *report,
                     arrived_s: active.arrived_s,
                     admitted_s: active.admitted_s,
@@ -1482,5 +1678,154 @@ mod tests {
         assert_eq!(report.makespan(), Percentiles::of(&makespans));
         // …and repeated calls return the identical cached value.
         assert_eq!(report.makespan(), report.makespan());
+    }
+
+    #[test]
+    fn timer_exactly_at_deadline_fires_before_run_until_returns() {
+        // Pinned tie semantics: an arrival timer due exactly at the
+        // deadline fires — and the job is admitted and dispatched — before
+        // run_until returns, while strictly later timers stay pending.
+        let jobs = vec![small_job(3, 2.0, "tie-a"), small_job(3, 2.0, "tie-b")];
+        let engine = FleetEngine::new(
+            sim(3, 21),
+            Box::new(Tetrium::new()),
+            Box::new(Pregauged::new(BwMatrix::filled(3, 300.0))),
+            FleetConfig::default(),
+        );
+        let mut run =
+            FleetRun::start(engine, jobs, &Arrivals::Scheduled { times: vec![5.0, 5.5] }).unwrap();
+        run.run_until(5.0).unwrap();
+        assert_eq!(run.time_s(), 5.0, "the run pauses exactly at the deadline");
+        assert_eq!(run.running(), 1, "the t=5.0 arrival was admitted before returning");
+        assert_eq!(run.outcomes().len(), 0, "nothing can have completed yet");
+        // The t=5.5 arrival stayed pending; the next window picks it up.
+        run.run_until(f64::INFINITY).unwrap();
+        assert_eq!(run.outcomes().len(), 2);
+        let mut arrived: Vec<f64> = run.outcomes().iter().map(|o| o.arrived_s).collect();
+        arrived.sort_by(f64::total_cmp);
+        assert_eq!(arrived, vec![5.0, 5.5]);
+    }
+
+    #[test]
+    fn drained_group_is_swept_from_the_stall_watch() {
+        use wanify_netsim::{DcId, FaultSchedule};
+        // A 2 s outage puts the shuffle under watch (timeout 30 s), heals
+        // long before the StallCheck fires, and the group drains: the gid
+        // must be swept from stall_watch at completion, and the healed
+        // stall must not be counted.
+        let mut s = sim(3, 22);
+        s.set_fault_schedule(FaultSchedule::new().dc_outage(DcId(1), 0.0, 2.0));
+        let config = FleetConfig {
+            faults: Some(FaultPolicy {
+                stall_timeout_s: 30.0,
+                max_retries: 3,
+                backoff_base_s: 5.0,
+            }),
+            ..FleetConfig::default()
+        };
+        let engine = FleetEngine::new(
+            s,
+            Box::new(VanillaSpark::new()),
+            Box::new(Pregauged::new(BwMatrix::filled(3, 300.0))),
+            config,
+        );
+        let mut run = FleetRun::start(
+            engine,
+            vec![small_job(3, 0.6, "healed")],
+            &Arrivals::Closed { clients: 1, think_s: 0.0 },
+        )
+        .unwrap();
+        run.run_until(f64::INFINITY).unwrap();
+        assert_eq!(run.outcomes().len(), 1);
+        assert!(!run.outcomes()[0].failed);
+        assert!(run.stall_watch.is_empty(), "completed groups must leave the watch set");
+        assert_eq!(run.counters.stalled_flows, 0, "a stall that healed in grace counts nothing");
+        assert_eq!(run.counters.retries, 0);
+        // The stale StallCheck timer fires later as a no-op: re-running a
+        // query over the same fleet never double-counts stalled_flows.
+        let report = run.into_report();
+        assert_eq!(report.faults.stalled_flows, 0);
+    }
+
+    #[test]
+    fn zero_retry_policy_fails_straight_from_first_stall() {
+        use wanify_netsim::{DcId, FaultKind, FaultSchedule};
+        // max_retries = 0: the first stall intervention must abort the job
+        // outright — failed accounting consistent, no retry, and no
+        // RetrySubmit backoff timer (the run terminates at the abort).
+        let mut s = sim(3, 23);
+        s.set_fault_schedule(FaultSchedule::new().at(0.0, FaultKind::DcDown(DcId(1))));
+        let config = FleetConfig {
+            faults: Some(FaultPolicy { stall_timeout_s: 2.0, max_retries: 0, backoff_base_s: 2.0 }),
+            ..FleetConfig::default()
+        };
+        let report = FleetEngine::new(
+            s,
+            Box::new(VanillaSpark::new()),
+            Box::new(Pregauged::new(BwMatrix::filled(3, 300.0))),
+            config,
+        )
+        .run(&[small_job(3, 0.6, "one-shot")], &Arrivals::Closed { clients: 1, think_s: 0.0 })
+        .unwrap();
+        assert_eq!(report.outcomes.len(), 1);
+        assert!(report.outcomes[0].failed);
+        assert_eq!(report.faults.failed_jobs, 1);
+        assert_eq!(report.faults.retries, 0, "zero retries allowed, zero spent");
+        assert!(report.faults.stalled_flows >= 1, "{:?}", report.faults);
+        // The abort lands one stall timeout after the watch was armed —
+        // there is no backoff wait tacked on.
+        assert!(
+            report.outcomes[0].completed_s <= 3.0 * 2.0 + 1.0,
+            "no RetrySubmit backoff may delay the abort: completed at {:.2}s",
+            report.outcomes[0].completed_s
+        );
+    }
+
+    #[test]
+    fn serving_run_accepts_incremental_submissions() {
+        let engine = FleetEngine::new(
+            sim(3, 24),
+            Box::new(Tetrium::new()),
+            Box::new(Pregauged::new(BwMatrix::filled(3, 300.0))),
+            FleetConfig::default(),
+        );
+        let mut run = FleetRun::start_serving(engine);
+        assert!(run.finished(), "an empty serving run is trivially finished");
+        // Idle stepping advances the WAN clock to the window edge.
+        let done = run.serve_step(10.0).unwrap();
+        assert_eq!(done, 0);
+        assert_eq!(run.time_s(), 10.0);
+        // Submit, then step to completion.
+        let idx = run.submit_job(small_job(3, 1.0, "served-0"));
+        assert_eq!(idx, 0);
+        assert_eq!(run.in_service(), 1);
+        let mut total = 0;
+        while !run.finished() {
+            total += run.serve_step(run.time_s() + 50.0).unwrap();
+        }
+        assert_eq!(total, 1);
+        assert_eq!(run.outcomes().len(), 1);
+        assert!(run.outcomes()[0].arrived_s >= 10.0, "the job arrived after the idle window");
+        let report = run
+            .into_report()
+            .with_serving(ServingCounters { offered: 1, ..ServingCounters::default() });
+        assert_eq!(report.serving.offered, 1);
+        assert_eq!(report.serving.shed_jobs, 0);
+    }
+
+    #[test]
+    fn serve_step_returns_at_first_completion_not_the_deadline() {
+        let engine = FleetEngine::new(
+            sim(3, 25),
+            Box::new(Tetrium::new()),
+            Box::new(Pregauged::new(BwMatrix::filled(3, 300.0))),
+            FleetConfig::default(),
+        );
+        let mut run = FleetRun::start_serving(engine);
+        let _ = run.submit_job(small_job(3, 0.5, "quick"));
+        let done = run.serve_step(1e6).unwrap();
+        assert_eq!(done, 1, "the window ends at the first completion");
+        assert!(run.time_s() < 1e6, "the run must not idle to the far deadline");
+        assert!(run.finished());
     }
 }

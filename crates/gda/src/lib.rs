@@ -48,8 +48,8 @@ pub mod storage;
 pub use cost::{CostBreakdown, CostModel};
 pub use executor::{run_job, JobRun, JobStep, QueryReport, TransferOptions};
 pub use fleet::{
-    Arrivals, FaultCounters, FaultPolicy, FleetAgent, FleetConfig, FleetEngine, FleetReport,
-    FleetRun, JobOutcome, Percentiles,
+    poisson_arrival_times, Arrivals, FaultCounters, FaultPolicy, FleetAgent, FleetConfig,
+    FleetEngine, FleetReport, FleetRun, JobOutcome, Percentiles, ServingCounters,
 };
 pub use job::{JobProfile, StageProfile};
 pub use scheduler::{Kimchi, PlacementCtx, Scheduler, Tetrium, VanillaSpark};

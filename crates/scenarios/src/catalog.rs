@@ -5,7 +5,9 @@
 //! harness. [`all`] returns them in report order; [`by_name`] resolves a
 //! `scenario:<name>` experiment id.
 
-use crate::spec::{BeliefKind, DynamicsSpec, Invariant, ScenarioSpec, SchedKind};
+use crate::spec::{
+    BeliefKind, BreakerSpec, DynamicsSpec, GatewaySpec, Invariant, ScenarioSpec, SchedKind,
+};
 use wanify_gda::{Arrivals, FaultPolicy};
 use wanify_netsim::{DcId, FaultSchedule};
 
@@ -196,6 +198,65 @@ fn aimd_agents_fleet() -> ScenarioSpec {
     .expect(Invariant::SlowdownAtLeast(1.05))
 }
 
+/// Open-loop arrivals far beyond the fleet's service rate, pushed
+/// through the serving gateway: deadline shedding must hold goodput up
+/// instead of letting every queued request rot past its deadline.
+fn sustained_overload_shedding() -> ScenarioSpec {
+    ScenarioSpec::new(
+        "sustained-overload-shedding",
+        "Poisson arrivals at roughly three times the two-slot fleet's service rate hit \
+         the gateway for 16 queries straight; the deadline-aware admission control sheds \
+         the hopeless requests from the queue, keeps the admitted ones largely on time, \
+         and the fleet never collapses into serving only late work.",
+    )
+    .jobs(16)
+    .scale(1.0)
+    .concurrent(1)
+    .arrivals(Arrivals::Poisson { rate_per_s: 0.5, seed: 21 })
+    .gateway(GatewaySpec {
+        queue_depth: 8,
+        deadline_slack_s: Some(45.0),
+        shed_headroom: 1.2,
+        ..GatewaySpec::default()
+    })
+    .expect(Invariant::ServedAtLeast(4))
+    .expect(Invariant::ShedAtLeast(1))
+    .expect(Invariant::RejectedAtLeast(1))
+    .expect(Invariant::DeadlineMissesAtMost(3))
+}
+
+/// A monitoring-plane outage under a serving gateway: every gauge fails
+/// for the first half of the run, the circuit breaker trips to a static
+/// fallback belief, and a half-open probe recovers the primary once the
+/// plane heals — queries degrade, none fail.
+fn belief_breaker_trip() -> ScenarioSpec {
+    ScenarioSpec::new(
+        "belief-breaker-trip",
+        "The runtime-measurement plane is down until t=250 s, so every re-gauge fails; \
+         after two consecutive failures the breaker opens and serves a pregauged \
+         fallback belief, then a post-outage half-open probe recovers runtime \
+         measurement — every query completes, none ever sees a gauge error.",
+    )
+    .jobs(8)
+    .scale(0.4)
+    .belief(BeliefKind::MeasuredRuntime(5))
+    .regauge_every(40.0)
+    .arrivals(Arrivals::Poisson { rate_per_s: 0.02, seed: 13 })
+    .gateway(GatewaySpec {
+        breaker: Some(BreakerSpec {
+            fail_until_s: 250.0,
+            failure_threshold: 2,
+            cooldown_s: 60.0,
+            fallback_mbps: 200.0,
+        }),
+        ..GatewaySpec::default()
+    })
+    .expect(Invariant::ServedAtLeast(8))
+    .expect(Invariant::FailedAtMost(0))
+    .expect(Invariant::BreakerTripsAtLeast(1))
+    .expect(Invariant::BreakerRecoveriesAtLeast(1))
+}
+
 /// Every committed scenario, in report order.
 pub fn all() -> Vec<ScenarioSpec> {
     vec![
@@ -207,6 +268,8 @@ pub fn all() -> Vec<ScenarioSpec> {
         regional_storm(),
         diurnal_live_dynamics(),
         aimd_agents_fleet(),
+        sustained_overload_shedding(),
+        belief_breaker_trip(),
     ]
 }
 
@@ -234,8 +297,8 @@ mod tests {
         for spec in all() {
             assert!(!spec.invariants.is_empty(), "{} has no invariants", spec.name);
             assert!(
-                !spec.faults.is_empty() || spec.has_live_dynamics(),
-                "{} neither injects faults nor moves the network",
+                !spec.faults.is_empty() || spec.has_live_dynamics() || spec.gateway.is_some(),
+                "{} neither injects faults, moves the network, nor stresses the gateway",
                 spec.name
             );
         }

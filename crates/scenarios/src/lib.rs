@@ -48,4 +48,6 @@ pub mod spec;
 
 pub use catalog::{all, by_name};
 pub use runner::{digest, render_digests, render_markdown, run_all, run_scenario, ScenarioOutcome};
-pub use spec::{BeliefKind, CheckCtx, CheckResult, Invariant, ScenarioSpec, SchedKind};
+pub use spec::{
+    BeliefKind, BreakerSpec, CheckCtx, CheckResult, GatewaySpec, Invariant, ScenarioSpec, SchedKind,
+};

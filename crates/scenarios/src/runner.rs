@@ -28,10 +28,13 @@ use wanify_gda::{FleetReport, RoundRobinShards, ShardedFleetEngine, ShardedFleet
 pub struct ScenarioOutcome {
     /// The spec that was run.
     pub spec: ScenarioSpec,
-    /// The solo faulted run (the arm invariants are evaluated on).
+    /// The solo faulted run (the arm invariants are evaluated on). For a
+    /// gateway scenario this is the gateway's fleet report, serving
+    /// counters populated.
     pub solo: FleetReport,
-    /// The sharded faulted run.
-    pub sharded: ShardedFleetReport,
+    /// The sharded faulted run; `None` for gateway scenarios, whose
+    /// serving front-end is solo-only.
+    pub sharded: Option<ShardedFleetReport>,
     /// Duration of the no-fault counterfactual, when one was needed.
     pub nofault_duration_s: Option<f64>,
     /// Mean makespan of the static-belief counterfactual, when needed.
@@ -78,6 +81,21 @@ pub fn digest(report: &FleetReport) -> String {
         f.degraded_s.to_bits(),
     )
     .expect("write to String");
+    let s = &report.serving;
+    writeln!(
+        out,
+        "serving offered={} rejected={} quota_rejected={} shed={} misses={} trips={} \
+         fallbacks={} recoveries={}",
+        s.offered,
+        s.rejected,
+        s.quota_rejected,
+        s.shed_jobs,
+        s.deadline_misses,
+        s.breaker_trips,
+        s.breaker_fallbacks,
+        s.breaker_recoveries,
+    )
+    .expect("write to String");
     out
 }
 
@@ -85,6 +103,18 @@ fn run_solo(spec: &ScenarioSpec, faulted: bool, belief: BeliefKind) -> FleetRepo
     spec.engine_with(faulted, belief)
         .run(&spec.trace(), &spec.arrivals)
         .unwrap_or_else(|e| panic!("scenario {}: solo arm failed to run: {e:?}", spec.name))
+}
+
+fn run_gateway(spec: &ScenarioSpec) -> FleetReport {
+    let (engine, handle) = spec.gateway_engine();
+    let mut gateway = wanify_gateway::Gateway::new(engine, spec.gateway_config());
+    if let Some(handle) = handle {
+        gateway = gateway.with_breaker(handle);
+    }
+    gateway
+        .serve(spec.gateway_requests())
+        .unwrap_or_else(|e| panic!("scenario {}: gateway arm failed to run: {e:?}", spec.name))
+        .fleet
 }
 
 fn run_sharded(spec: &ScenarioSpec) -> ShardedFleetReport {
@@ -106,8 +136,10 @@ fn run_sharded(spec: &ScenarioSpec) -> ShardedFleetReport {
 /// bit-identical, or if the sharded arm loses track of a job — those are
 /// harness guarantees, not scenario-dependent outcomes.
 pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
-    let solo = run_solo(spec, true, spec.belief);
-    let solo_again = run_solo(spec, true, spec.belief);
+    let gated = spec.gateway.is_some();
+    let run_once = || if gated { run_gateway(spec) } else { run_solo(spec, true, spec.belief) };
+    let solo = run_once();
+    let solo_again = run_once();
     assert_eq!(
         digest(&solo),
         digest(&solo_again),
@@ -115,20 +147,23 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
         spec.name
     );
 
-    let sharded = run_sharded(spec);
-    let sharded_again = run_sharded(spec);
-    assert_eq!(
-        digest(&sharded.fleet),
-        digest(&sharded_again.fleet),
-        "scenario {}: sharded runs must be bit-identical",
-        spec.name
-    );
-    assert_eq!(
-        sharded.fleet.outcomes.len(),
-        spec.jobs,
-        "scenario {}: the sharded arm must account for every job",
-        spec.name
-    );
+    let sharded = (!gated).then(|| {
+        let sharded = run_sharded(spec);
+        let sharded_again = run_sharded(spec);
+        assert_eq!(
+            digest(&sharded.fleet),
+            digest(&sharded_again.fleet),
+            "scenario {}: sharded runs must be bit-identical",
+            spec.name
+        );
+        assert_eq!(
+            sharded.fleet.outcomes.len(),
+            spec.jobs,
+            "scenario {}: the sharded arm must account for every job",
+            spec.name
+        );
+        sharded
+    });
 
     let nofault_duration_s = spec
         .invariants
@@ -220,6 +255,28 @@ pub fn render_markdown(outcomes: &[ScenarioOutcome]) -> String {
                 a.interval_s
             );
         }
+        if let Some(g) = &spec.gateway {
+            let deadline = match g.deadline_slack_s {
+                Some(s) => format!("deadline +{s:.0}s (headroom {:.1})", g.shed_headroom),
+                None => "no deadlines".to_string(),
+            };
+            let quota = match g.quota {
+                Some(q) => format!(", quota {}/s burst {}", q.rate_per_s, q.burst),
+                None => String::new(),
+            };
+            let breaker = match g.breaker {
+                Some(b) => format!(
+                    ", breaker(fail<{:.0}s, trip {}, cooldown {:.0}s)",
+                    b.fail_until_s, b.failure_threshold, b.cooldown_s
+                ),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                md,
+                "| gateway | queue {} ({:?}), {deadline}{quota}{breaker} |",
+                g.queue_depth, g.overload
+            );
+        }
         let _ = writeln!(md);
 
         let row = |r: &FleetReport| {
@@ -243,7 +300,26 @@ pub fn render_markdown(outcomes: &[ScenarioOutcome]) -> String {
         );
         let _ = writeln!(md, "|-----|--------------|------------------------|---------------------|---------------|-------------|--------------|");
         let _ = writeln!(md, "| solo | {} |", row(&o.solo));
-        let _ = writeln!(md, "| sharded({}) | {} |", spec.shards, row(&o.sharded.fleet));
+        if let Some(sharded) = &o.sharded {
+            let _ = writeln!(md, "| sharded({}) | {} |", spec.shards, row(&sharded.fleet));
+        }
+        if spec.gateway.is_some() {
+            let s = &o.solo.serving;
+            let _ = writeln!(
+                md,
+                "\nServing: offered {} → served {}, shed {}, rejected {} (quota {}), \
+                 deadline misses {}, breaker trips/fallbacks/recoveries {}/{}/{}.",
+                s.offered,
+                o.solo.outcomes.len(),
+                s.shed_jobs,
+                s.rejected,
+                s.quota_rejected,
+                s.deadline_misses,
+                s.breaker_trips,
+                s.breaker_fallbacks,
+                s.breaker_recoveries,
+            );
+        }
         if let Some(base) = o.nofault_duration_s {
             let _ = writeln!(md, "| solo, no faults | {base:.2} | — | — | — | — | — |");
         }
@@ -272,8 +348,10 @@ pub fn render_digests(outcomes: &[ScenarioOutcome]) -> String {
     for o in outcomes {
         let _ = writeln!(out, "== {} solo ==", o.spec.name);
         out.push_str(&digest(&o.solo));
-        let _ = writeln!(out, "== {} sharded({}) ==", o.spec.name, o.spec.shards);
-        out.push_str(&digest(&o.sharded.fleet));
+        if let Some(sharded) = &o.sharded {
+            let _ = writeln!(out, "== {} sharded({}) ==", o.spec.name, o.spec.shards);
+            out.push_str(&digest(&sharded.fleet));
+        }
     }
     out
 }
@@ -301,7 +379,30 @@ mod tests {
         let outcome = run_scenario(&tiny_spec());
         assert!(outcome.passed(), "checks: {:?}", outcome.checks);
         assert_eq!(outcome.solo.outcomes.len(), 2);
-        assert_eq!(outcome.sharded.fleet.outcomes.len(), 2);
+        assert_eq!(
+            outcome.sharded.as_ref().expect("batch spec runs sharded").fleet.outcomes.len(),
+            2
+        );
+    }
+
+    #[test]
+    fn gateway_scenario_skips_the_sharded_arm_and_counts_serving() {
+        use crate::spec::GatewaySpec;
+        use wanify_gda::Arrivals;
+        let spec = ScenarioSpec::new("tiny-gated", "gateway smoke")
+            .jobs(3)
+            .scale(0.3)
+            .scheduler(SchedKind::Vanilla)
+            .arrivals(Arrivals::Poisson { rate_per_s: 0.05, seed: 3 })
+            .faults(FaultSchedule::new().straggler(DcId(1), 0.5, 2.0).straggler(DcId(1), 1.0, 30.0))
+            .gateway(GatewaySpec::default())
+            .expect(Invariant::ServedAtLeast(3));
+        let outcome = run_scenario(&spec);
+        assert!(outcome.passed(), "checks: {:?}", outcome.checks);
+        assert!(outcome.sharded.is_none(), "gateway scenarios are solo-only");
+        assert_eq!(outcome.solo.serving.offered, 3);
+        let d = digest(&outcome.solo);
+        assert!(d.contains("serving offered=3"), "digest records serving counters:\n{d}");
     }
 
     #[test]

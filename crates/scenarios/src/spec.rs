@@ -12,9 +12,13 @@ use wanify::{
     infer_dc_relations, optimize_global, BandwidthSource, MeasuredRuntime, Pregauged,
     StaticIndependent, WanifyAgent,
 };
+use wanify_gateway::{
+    BreakerConfig, BreakerHandle, CircuitBreakerSource, FlakySource, GatewayConfig, GatewayRequest,
+    OverloadPolicy, QuotaConfig,
+};
 use wanify_gda::{
-    Arrivals, FaultPolicy, FleetAgent, FleetConfig, FleetEngine, FleetReport, JobProfile, Kimchi,
-    Scheduler, Tetrium, VanillaSpark,
+    poisson_arrival_times, Arrivals, FaultPolicy, FleetAgent, FleetConfig, FleetEngine,
+    FleetReport, JobProfile, Kimchi, Scheduler, Tetrium, VanillaSpark,
 };
 use wanify_netsim::{
     paper_testbed_n, Backbone, BwMatrix, ConnMatrix, FaultSchedule, LinkModelParams, NetSim,
@@ -98,6 +102,56 @@ pub struct AgentSpec {
     pub interval_s: f64,
 }
 
+/// A deterministic gauge outage driving the belief circuit breaker on a
+/// gateway scenario: the spec's primary belief source fails every gauge
+/// before `fail_until_s`, answered by a pregauged fallback while the
+/// breaker is open.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerSpec {
+    /// Simulated instant the primary gauge heals.
+    pub fail_until_s: f64,
+    /// Consecutive failures that trip the breaker.
+    pub failure_threshold: u32,
+    /// Open-state cooldown before a half-open probe.
+    pub cooldown_s: f64,
+    /// Uniform bandwidth of the pregauged fallback belief, Mbps.
+    pub fallback_mbps: f64,
+}
+
+/// The serving front-end of a gateway scenario: requests flow through a
+/// [`wanify_gateway::Gateway`] instead of being batch-submitted, so the
+/// scenario can overload the fleet and assert on shedding, rejection and
+/// breaker behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatewaySpec {
+    /// Bounded submission-queue depth.
+    pub queue_depth: usize,
+    /// Policy when the queue is full.
+    pub overload: OverloadPolicy,
+    /// Relative completion deadline granted to every request (`None`
+    /// never sheds).
+    pub deadline_slack_s: Option<f64>,
+    /// Safety factor on predicted makespans for shedding.
+    pub shed_headroom: f64,
+    /// Per-tenant-class admission quota.
+    pub quota: Option<QuotaConfig>,
+    /// Gauge-outage + circuit-breaker arm.
+    pub breaker: Option<BreakerSpec>,
+}
+
+impl Default for GatewaySpec {
+    fn default() -> Self {
+        Self {
+            queue_depth: 32,
+            overload: OverloadPolicy::Reject,
+            deadline_slack_s: None,
+            shed_headroom: 1.0,
+            quota: None,
+            breaker: None,
+        }
+    }
+}
+
 /// Which scheduler serves the fleet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedKind {
@@ -161,6 +215,23 @@ pub enum Invariant {
     /// `(1 + tolerance)` × mean makespan of a static-independent-belief
     /// rerun — the paper's runtime-beats-static claim under faults.
     RuntimeBeliefNoWorse(f64),
+    /// At least this many requests run to completion (gateway arm).
+    ServedAtLeast(u64),
+    /// At least this many queued requests are deadline-shed (gateway
+    /// arm).
+    ShedAtLeast(u64),
+    /// At least this many requests are refused at the front door —
+    /// queue overflow or tenant quota (gateway arm).
+    RejectedAtLeast(u64),
+    /// At most this many served requests miss their deadline (gateway
+    /// arm): admission control must keep late finishes rare.
+    DeadlineMissesAtMost(u64),
+    /// The belief circuit breaker trips at least this often (gateway
+    /// arm).
+    BreakerTripsAtLeast(u64),
+    /// The belief circuit breaker recovers its primary at least this
+    /// often (gateway arm).
+    BreakerRecoveriesAtLeast(u64),
 }
 
 /// Inputs an [`Invariant::check`] can draw on.
@@ -201,6 +272,7 @@ impl Invariant {
     /// Evaluates the invariant.
     pub fn check(&self, ctx: &CheckCtx) -> CheckResult {
         let f = &ctx.solo.faults;
+        let s = &ctx.solo.serving;
         let (label, pass, detail) = match *self {
             Invariant::AllComplete => (
                 format!("all {} jobs complete, none failed", ctx.jobs),
@@ -273,6 +345,36 @@ impl Invariant {
                     format!("runtime-mean={mine:.2}s static-mean={stat:.2}s"),
                 )
             }
+            Invariant::ServedAtLeast(n) => (
+                format!("≥ {n} request(s) served to completion"),
+                ctx.solo.outcomes.len() as u64 >= n,
+                format!("served={}", ctx.solo.outcomes.len()),
+            ),
+            Invariant::ShedAtLeast(n) => (
+                format!("≥ {n} request(s) deadline-shed"),
+                s.shed_jobs >= n,
+                format!("shed_jobs={}", s.shed_jobs),
+            ),
+            Invariant::RejectedAtLeast(n) => (
+                format!("≥ {n} request(s) refused at the front door"),
+                s.rejected + s.quota_rejected >= n,
+                format!("rejected={} quota_rejected={}", s.rejected, s.quota_rejected),
+            ),
+            Invariant::DeadlineMissesAtMost(n) => (
+                format!("≤ {n} served request(s) miss their deadline"),
+                s.deadline_misses <= n,
+                format!("deadline_misses={}", s.deadline_misses),
+            ),
+            Invariant::BreakerTripsAtLeast(n) => (
+                format!("belief breaker trips ≥ {n} time(s)"),
+                s.breaker_trips >= n,
+                format!("breaker_trips={}", s.breaker_trips),
+            ),
+            Invariant::BreakerRecoveriesAtLeast(n) => (
+                format!("belief breaker recovers ≥ {n} time(s)"),
+                s.breaker_recoveries >= n,
+                format!("breaker_recoveries={}", s.breaker_recoveries),
+            ),
         };
         CheckResult { label, pass, detail }
     }
@@ -315,6 +417,10 @@ pub struct ScenarioSpec {
     pub dynamics: Option<DynamicsSpec>,
     /// AIMD agent fleet on the faulted arms (`None` = agent-free).
     pub agent: Option<AgentSpec>,
+    /// Serving gateway front-end (`None` = batch submission). Gateway
+    /// scenarios run the solo arm through the gateway and skip the
+    /// sharded arm.
+    pub gateway: Option<GatewaySpec>,
     /// Directional properties the solo faulted run must satisfy.
     pub invariants: Vec<Invariant>,
 }
@@ -340,8 +446,37 @@ impl ScenarioSpec {
             regional: false,
             dynamics: None,
             agent: None,
+            gateway: None,
             invariants: Vec::new(),
         }
+    }
+
+    /// Sets the admission limit (concurrent queries).
+    #[must_use]
+    pub fn concurrent(mut self, max_concurrent: usize) -> Self {
+        assert!(max_concurrent >= 1, "admission limit must allow at least one query");
+        self.max_concurrent = max_concurrent;
+        self
+    }
+
+    /// Sets the shared-belief staleness bound.
+    #[must_use]
+    pub fn regauge_every(mut self, every_s: f64) -> Self {
+        self.regauge_every_s = every_s;
+        self
+    }
+
+    /// Fronts the solo arm with a serving gateway. Gateway scenarios
+    /// need an open-loop arrival process (Poisson or Scheduled) — a
+    /// closed loop can never overload the fleet.
+    #[must_use]
+    pub fn gateway(mut self, gateway: GatewaySpec) -> Self {
+        assert!(
+            !matches!(self.arrivals, Arrivals::Closed { .. }),
+            "gateway scenarios need open-loop arrivals: set .arrivals(...) first"
+        );
+        self.gateway = Some(gateway);
+        self
     }
 
     /// Sets the paper-testbed prefix size.
@@ -565,6 +700,97 @@ impl ScenarioSpec {
         } else {
             engine
         }
+    }
+
+    /// The gateway arm's fleet engine: the spec's belief source,
+    /// wrapped — when a [`BreakerSpec`] is declared — in a deterministic
+    /// gauge outage ([`FlakySource`]) behind a [`CircuitBreakerSource`]
+    /// with a pregauged fallback. Returns the engine plus the breaker's
+    /// stats handle when one was installed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no [`GatewaySpec`] is installed.
+    pub fn gateway_engine(&self) -> (FleetEngine, Option<BreakerHandle>) {
+        let gw = self.gateway.expect("spec declares a gateway");
+        let (source, handle): (Box<dyn BandwidthSource>, _) = match gw.breaker {
+            Some(b) => {
+                let primary =
+                    Box::new(FlakySource::new(self.belief.build(self.n_dcs), b.fail_until_s));
+                let breaker = CircuitBreakerSource::new(
+                    primary,
+                    Box::new(Pregauged::new(BwMatrix::filled(self.n_dcs, b.fallback_mbps))),
+                    BreakerConfig {
+                        failure_threshold: b.failure_threshold,
+                        cooldown_s: b.cooldown_s,
+                    },
+                );
+                let handle = breaker.stats_handle();
+                (Box::new(breaker), Some(handle))
+            }
+            None => (self.belief.build(self.n_dcs), None),
+        };
+        let engine =
+            FleetEngine::new(self.sim(true), self.sched.build(), source, self.fleet_config());
+        let engine =
+            if self.agent.is_some() { engine.with_agent(self.build_agent()) } else { engine };
+        (engine, handle)
+    }
+
+    /// The gateway arm's [`GatewayConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no [`GatewaySpec`] is installed.
+    pub fn gateway_config(&self) -> GatewayConfig {
+        let gw = self.gateway.expect("spec declares a gateway");
+        GatewayConfig {
+            queue_depth: gw.queue_depth,
+            overload: gw.overload,
+            quota: gw.quota,
+            shed_headroom: gw.shed_headroom,
+        }
+    }
+
+    /// The gateway arm's request stream: the spec's trace with arrival
+    /// times drawn from its open-loop arrival process and deadlines from
+    /// the [`GatewaySpec`]'s slack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no [`GatewaySpec`] is installed, if the arrival process
+    /// is closed-loop, or if a scheduled arrival list does not cover the
+    /// trace.
+    pub fn gateway_requests(&self) -> Vec<GatewayRequest> {
+        let gw = self.gateway.expect("spec declares a gateway");
+        let times: Vec<f64> = match &self.arrivals {
+            Arrivals::Poisson { rate_per_s, seed } => {
+                poisson_arrival_times(self.jobs, *rate_per_s, *seed).unwrap_or_else(|e| {
+                    panic!("scenario {}: bad Poisson arrivals: {e:?}", self.name)
+                })
+            }
+            Arrivals::Scheduled { times } => {
+                assert_eq!(
+                    times.len(),
+                    self.jobs,
+                    "scenario {}: scheduled arrivals must cover the trace",
+                    self.name
+                );
+                times.clone()
+            }
+            Arrivals::Closed { .. } => {
+                panic!("scenario {}: gateway arm needs open-loop arrivals", self.name)
+            }
+        };
+        self.trace()
+            .into_iter()
+            .zip(times)
+            .map(|(job, arrival_s)| GatewayRequest {
+                job,
+                arrival_s,
+                deadline_s: gw.deadline_slack_s.map(|slack| arrival_s + slack),
+            })
+            .collect()
     }
 }
 

@@ -11,18 +11,23 @@
 //! * [`quantization`] — an SAGQ-style geo-distributed ML training loop
 //!   whose gradient precision adapts to believed bandwidth (Fig. 4);
 //! * [`trace`] — deterministic mixed multi-tenant job streams (TeraSort /
-//!   WordCount / TPC-DS mix) for the `wanify-gda` fleet engine.
+//!   WordCount / TPC-DS mix) for the `wanify-gda` fleet engine;
+//! * [`loadgen`] — open-loop Poisson request streams and offered-rate
+//!   sweeps over the mixed trace, the input of the serving gateway's
+//!   goodput-vs-load curves.
 //!
 //! Each model captures the *shape* that drives WAN behaviour — stage
 //! structure, shuffle volume per DC pair and compute/network balance — not
 //! the byte-exact semantics of the original programs.
 
+pub mod loadgen;
 pub mod quantization;
 pub mod terasort;
 pub mod tpcds;
 pub mod trace;
 pub mod wordcount;
 
+pub use loadgen::{offered_load, rate_sweep, LoadSpec, OfferedJob};
 pub use quantization::{QuantConfig, QuantPolicy, TrainingReport};
 pub use tpcds::TpcDsQuery;
 pub use trace::{mixed_trace, regional_mixed_trace, TraceConfig};

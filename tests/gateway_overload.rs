@@ -1,0 +1,87 @@
+//! Serving-gateway acceptance: the admission-controlled front end must
+//! turn sustained overload into bounded, accounted-for degradation — a
+//! full sweep past saturation keeps goodput near capacity while shed and
+//! rejected counters absorb the excess — and the whole path must stay
+//! bit-deterministic.
+
+use wanify::Pregauged;
+use wanify_gateway::{Gateway, GatewayConfig, GatewayReport, GatewayRequest, OverloadPolicy};
+use wanify_gda::{FleetConfig, FleetEngine, Tetrium};
+use wanify_netsim::{paper_testbed_n, BwMatrix, LinkModelParams, NetSim, VmType};
+use wanify_workloads::{offered_load, rate_sweep, LoadSpec};
+
+const N_DCS: usize = 3;
+const JOBS: usize = 12;
+
+fn engine(seed: u64) -> FleetEngine {
+    FleetEngine::new(
+        NetSim::new(paper_testbed_n(VmType::t2_medium(), N_DCS), LinkModelParams::frozen(), seed),
+        Box::new(Tetrium::new()),
+        Box::new(Pregauged::new(BwMatrix::filled(N_DCS, 300.0))),
+        FleetConfig { max_concurrent: 2, ..FleetConfig::default() },
+    )
+}
+
+fn requests(spec: &LoadSpec) -> Vec<GatewayRequest> {
+    offered_load(spec)
+        .into_iter()
+        .map(|o| GatewayRequest { job: o.job, arrival_s: o.arrival_s, deadline_s: o.deadline_s })
+        .collect()
+}
+
+fn serve(cfg: GatewayConfig, spec: &LoadSpec) -> GatewayReport {
+    Gateway::new(engine(spec.seed), cfg).serve(requests(spec)).expect("gateway run")
+}
+
+#[test]
+fn overload_sweep_degrades_by_shedding_not_collapsing() {
+    let base = LoadSpec::new(N_DCS, JOBS, 41, 0.01).scaled(0.8).with_deadline_slack(150.0);
+    let cfg = || GatewayConfig { queue_depth: 6, ..GatewayConfig::default() };
+
+    let mut goodputs = Vec::new();
+    for (rate, _) in rate_sweep(&base, &[0.02, 0.08, 0.32]) {
+        let r = serve(cfg(), &base.clone().at_rate(rate));
+        let s = &r.fleet.serving;
+        assert_eq!(s.offered, JOBS as u64, "every request is offered at rate {rate}");
+        assert_eq!(
+            r.served() as u64 + s.shed_jobs + s.rejected,
+            JOBS as u64,
+            "every request is accounted for at rate {rate}: {s:?}"
+        );
+        goodputs.push(r.good() as f64 / r.fleet.duration_s.max(1e-9));
+    }
+    let at_low = goodputs[0];
+    let at_high = *goodputs.last().expect("sweep ran");
+    assert!(at_low > 0.0, "unloaded point served nothing");
+    assert!(at_high >= 0.5 * at_low, "goodput collapsed under a 16x rate increase: {goodputs:?}");
+}
+
+#[test]
+fn block_policy_never_rejects_and_reject_policy_never_blocks_admissions() {
+    let base = LoadSpec::new(N_DCS, JOBS, 7, 0.3).scaled(0.8);
+    let blocking = serve(
+        GatewayConfig { queue_depth: 2, overload: OverloadPolicy::Block, ..Default::default() },
+        &base,
+    );
+    assert_eq!(blocking.fleet.serving.rejected, 0, "Block parks overflow instead of rejecting");
+    assert_eq!(blocking.served(), JOBS, "Block eventually serves everyone");
+
+    let rejecting = serve(GatewayConfig { queue_depth: 2, ..Default::default() }, &base);
+    assert!(rejecting.fleet.serving.rejected > 0, "a 2-deep queue under burst must overflow");
+    assert_eq!(
+        rejecting.served() + rejecting.fleet.serving.rejected as usize,
+        JOBS,
+        "served + rejected covers the trace"
+    );
+}
+
+#[test]
+fn gateway_reports_are_bit_identical_across_runs() {
+    let base = LoadSpec::new(N_DCS, JOBS, 23, 0.1).scaled(0.8).with_deadline_slack(200.0);
+    let a = serve(GatewayConfig::default(), &base);
+    let b = serve(GatewayConfig::default(), &base);
+    assert_eq!(a.dispositions, b.dispositions);
+    assert_eq!(a.fleet.serving, b.fleet.serving);
+    assert_eq!(a.latency.p99.to_bits(), b.latency.p99.to_bits());
+    assert_eq!(a.fleet.duration_s.to_bits(), b.fleet.duration_s.to_bits());
+}
