@@ -49,18 +49,9 @@ fn time_run(transfers: &[Transfer], conns: &ConnMatrix, per_epoch: bool) -> Tran
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let out = match args.iter().position(|a| a == "--out") {
-        Some(i) => match args.get(i + 1) {
-            Some(path) if !path.starts_with("--") => Some(path.clone()),
-            _ => {
-                eprintln!("error: --out requires a path argument");
-                std::process::exit(2);
-            }
-        },
-        None => (!smoke).then(|| "BENCH_dynamics.json".to_string()),
-    };
+    let args = wanify_bench::BenchArgs::parse();
+    let smoke = args.smoke;
+    let out = args.out("BENCH_dynamics.json");
 
     // Long-transfer workload under live 30 s-tick dynamics, coalesced vs
     // per-epoch stepping. Full mode sizes the slowest pair past 1000

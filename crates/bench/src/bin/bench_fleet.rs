@@ -13,11 +13,13 @@
 //! * **throughput floor** — the engine must sustain a minimum number of
 //!   completed queries per wall-clock second (CI-asserted in smoke mode).
 //!
-//! Usage: `bench_fleet [--smoke] [--out PATH]`
-//!   --smoke   small fleet (CI); skips writing JSON unless --out is given.
-//!   --out     output path (default `BENCH_fleet.json`, full mode only).
+//! Usage: `bench_fleet [--smoke] [--out PATH] [--queries N]`
+//!   --smoke    small fleet (CI); skips writing JSON unless --out is given.
+//!   --out      output path (default `BENCH_fleet.json`, full mode only).
+//!   --queries  override the query count of the selected mode.
 
 use std::time::Instant;
+use wanify_bench::BenchArgs;
 use wanify_gda::{Arrivals, FleetConfig, FleetEngine, FleetReport, Tetrium};
 use wanify_netsim::{paper_testbed_n, LinkModelParams, NetSim, VmType};
 use wanify_workloads::{mixed_trace, TraceConfig};
@@ -36,29 +38,29 @@ fn fleet_run(n: usize, jobs: &[wanify_gda::JobProfile], max_concurrent: usize) -
         sim(n),
         Box::new(Tetrium::new()),
         Box::new(wanify::StaticIndependent::new()),
-        FleetConfig { max_concurrent, regauge_every_s: 300.0, conns: None, faults: None },
+        FleetConfig {
+            max_concurrent,
+            regauge_every_s: 300.0,
+            conns: None,
+            faults: None,
+            ..FleetConfig::default()
+        },
     )
     .run(jobs, &Arrivals::Closed { clients: max_concurrent, think_s: 0.0 })
     .expect("bench trace matches its topology")
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let out = match args.iter().position(|a| a == "--out") {
-        Some(i) => match args.get(i + 1) {
-            Some(path) if !path.starts_with("--") => Some(path.clone()),
-            _ => {
-                eprintln!("error: --out requires a path argument");
-                std::process::exit(2);
-            }
-        },
-        None => (!smoke).then(|| "BENCH_fleet.json".to_string()),
-    };
+    let args = BenchArgs::parse();
+    let smoke = args.smoke;
+    let out = args.out("BENCH_fleet.json");
 
     // ≥ 50 queries contending at once in full mode (the acceptance bar);
     // a small fleet in smoke mode to keep CI fast.
-    let (n, n_jobs, max_concurrent) = if smoke { (4, 16, 16) } else { (8, 60, 60) };
+    let (n, mut n_jobs, max_concurrent) = if smoke { (4, 16, 16) } else { (8, 60, 60) };
+    if let Some(q) = args.count("--queries") {
+        n_jobs = q;
+    }
     let trace = mixed_trace(&TraceConfig::new(n, n_jobs, 42).scaled(0.5));
 
     // (a) Fleet run, timed — then repeated to prove determinism.

@@ -1,0 +1,276 @@
+//! Emits `BENCH_scale.json`: the tracked scale trajectory for the
+//! streamed, hierarchically-sharded fleet.
+//!
+//! Each arm serves N queries — 60, 10 000, 100 000 in full mode — from a
+//! lazy trace/Poisson stream through a [`ShardedFleetEngine`] coupled by
+//! a two-tier [`BackboneHierarchy`] over a tiled 64-DC WAN, with the
+//! driver retaining only a bounded window of per-job state. The runner
+//! verifies the scale guarantees while timing each arm:
+//!
+//! * **determinism** — the middle arm is repeated and re-run under
+//!   explicit 1- and 4-thread rayon pools; all four digests must agree
+//!   bit for bit;
+//! * **constant memory** — the fleet's peak tracked per-job state (one
+//!   look-ahead arrival + pending/admitted jobs + one window of
+//!   completions per shard + the driver's retained outcomes) at the
+//!   largest arm must stay within 2x the middle arm's, even though it
+//!   serves 10x the queries;
+//! * **throughput floor** — the largest arm must sustain a minimum
+//!   number of completed queries per wall-clock second.
+//!
+//! The JSON separates a `deterministic` section (bit-stable across
+//! machines: query counts, simulated durations, memory proxies, run
+//! digests) from a `wall` section (machine-dependent timings); CI diffs
+//! only the former via `--check`.
+//!
+//! Usage: `bench_scale [--smoke] [--out PATH] [--digest PATH] [--check]`
+//!   --smoke    small trajectory (CI); skips writing JSON unless --out is
+//!              given and skips the machine-dependent throughput floor.
+//!   --out      JSON output path (default `BENCH_scale.json`, full mode).
+//!   --digest   also write the full per-outcome digests (no wall times) —
+//!              the CI determinism matrix diffs this file across
+//!              RAYON_NUM_THREADS values.
+//!   --check    instead of writing, assert that the file at the output
+//!              path contains this run's deterministic section verbatim
+//!              (drift gate; wall-clock fields are exempt).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use wanify_bench::BenchArgs;
+use wanify_gda::{
+    poisson_times_iter, FleetConfig, FleetEngine, RoundRobinShards, ShardedFleetEngine,
+    ShardedFleetReport, Tetrium,
+};
+use wanify_netsim::{paper_testbed_tiled, BackboneHierarchy, LinkModelParams, NetSim, VmType};
+use wanify_workloads::{trace_iter, TraceConfig};
+
+/// Completed queries per wall-clock second the largest arm must sustain.
+/// Deliberately far below what the release build does — the floor only
+/// catches catastrophic regressions (e.g. losing event coalescing or
+/// accidentally materializing the trace).
+const MIN_JOBS_PER_WALL_S: f64 = 100.0;
+
+/// The largest arm's memory proxy may exceed the middle arm's by at most
+/// this factor, despite serving 10x the queries.
+const MAX_PEAK_GROWTH: f64 = 2.0;
+
+/// Outcomes the driver retains for the report; everything past this is
+/// folded into the streaming sketches.
+const RETAIN_OUTCOMES: usize = 256;
+
+/// Fleet-wide Poisson arrival rate, jobs per simulated second. Chosen
+/// well under the fleet's service rate so queues stay bounded and the
+/// memory proxy measures the *design's* footprint, not a backlog.
+const RATE_PER_S: f64 = 0.5;
+
+struct Scale {
+    n_dcs: usize,
+    shards: usize,
+    max_concurrent: usize,
+    arms: &'static [usize],
+    /// Index of the arm used for the determinism re-runs.
+    check_arm: usize,
+}
+
+const FULL: Scale =
+    Scale { n_dcs: 64, shards: 8, max_concurrent: 8, arms: &[60, 10_000, 100_000], check_arm: 1 };
+const SMOKE: Scale =
+    Scale { n_dcs: 16, shards: 4, max_concurrent: 8, arms: &[60, 1_000], check_arm: 1 };
+
+fn shard_engine(n_dcs: usize, max_concurrent: usize) -> FleetEngine {
+    FleetEngine::new(
+        NetSim::new(paper_testbed_tiled(VmType::t2_medium(), n_dcs), LinkModelParams::frozen(), 11),
+        Box::new(Tetrium::new()),
+        Box::new(wanify::StaticIndependent::new()),
+        FleetConfig { max_concurrent, regauge_every_s: 3600.0, ..FleetConfig::default() },
+    )
+}
+
+/// One streamed hierarchical run of `queries` jobs.
+fn scale_run(scale: &Scale, queries: usize) -> ShardedFleetReport {
+    let topo = paper_testbed_tiled(VmType::t2_medium(), scale.n_dcs);
+    // Regional trunks exchange every 30 simulated seconds, continental
+    // trunks every 90; between coarse syncs the last continental grant
+    // persists.
+    let hierarchy = BackboneHierarchy::regional_continental(&topo, 4000.0, 8000.0, 30.0, 90.0);
+    let times = poisson_times_iter(RATE_PER_S, 42).expect("positive rate");
+    let jobs = trace_iter(&TraceConfig::new(scale.n_dcs, queries, 42).scaled(0.25));
+    ShardedFleetEngine::new(
+        (0..scale.shards).map(|_| shard_engine(scale.n_dcs, scale.max_concurrent)).collect(),
+        Box::new(RoundRobinShards::new()),
+        None,
+    )
+    .with_hierarchy(hierarchy)
+    .run_stream(queries, Box::new(times.zip(jobs)), RETAIN_OUTCOMES)
+    .expect("scale trace matches its topology")
+}
+
+/// Bit-exact digest of everything a run produced except wall-clock time:
+/// the retained outcomes plus the fleet-wide streaming totals.
+fn digest(report: &ShardedFleetReport) -> String {
+    let mut out = String::new();
+    for o in &report.fleet.outcomes {
+        writeln!(
+            out,
+            "{} latency={:016x} arrived={:016x} admitted={:016x} completed={:016x}",
+            o.report.job,
+            o.report.latency_s.to_bits(),
+            o.arrived_s.to_bits(),
+            o.admitted_s.to_bits(),
+            o.completed_s.to_bits(),
+        )
+        .expect("write to String");
+    }
+    writeln!(
+        out,
+        "completed={} failed={} duration={:016x} egress={:016x} cost={:016x} gauges={} \
+         syncs={} peak={}",
+        report.fleet.completed(),
+        report.fleet.failed_jobs(),
+        report.fleet.duration_s.to_bits(),
+        report.fleet.total_egress_gb().to_bits(),
+        report.fleet.total_cost_usd().to_bits(),
+        report.fleet.gauges,
+        report.backbone_syncs,
+        report.peak_tracked,
+    )
+    .expect("write to String");
+    out
+}
+
+/// FNV-1a 64 over the digest text: a compact fingerprint for the JSON.
+fn fingerprint(digest: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in digest.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool construction")
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let smoke = args.smoke;
+    let out = args.out("BENCH_scale.json");
+    let digest_path = args.path("--digest");
+    let check = args.flag("--check");
+
+    let scale = if smoke { SMOKE } else { FULL };
+
+    // (a) The trajectory, each arm timed.
+    let mut arms: Vec<(usize, f64, String, ShardedFleetReport)> = Vec::new();
+    for &queries in scale.arms {
+        let start = Instant::now();
+        let report = scale_run(&scale, queries);
+        let wall_s = start.elapsed().as_secs_f64();
+        assert_eq!(report.fleet.completed(), queries, "every query must complete");
+        let d = digest(&report);
+        arms.push((queries, wall_s, d, report));
+    }
+
+    // (b) Determinism on the middle arm: a plain repeat plus explicit
+    // 1- and 4-thread pools must all reproduce the ambient digest.
+    let (check_queries, _, check_digest, _) = &arms[scale.check_arm];
+    for (label, rerun) in [
+        ("repeat", scale_run(&scale, *check_queries)),
+        ("1-thread", pool(1).install(|| scale_run(&scale, *check_queries))),
+        ("4-thread", pool(4).install(|| scale_run(&scale, *check_queries))),
+    ] {
+        assert_eq!(
+            digest(&rerun),
+            *check_digest,
+            "{label}: {check_queries}-query runs must be bit-identical"
+        );
+    }
+
+    // (c) Constant memory: the largest arm's peak tracked state must not
+    // outgrow the middle arm's, despite 10x the queries.
+    let mid_peak = arms[scale.check_arm].3.peak_tracked;
+    let top_peak = arms.last().expect("at least one arm").3.peak_tracked;
+    assert!(
+        (top_peak as f64) <= MAX_PEAK_GROWTH * mid_peak as f64,
+        "memory proxy must stay flat with query count: {top_peak} at the largest arm vs \
+         {mid_peak} at the middle arm (limit {MAX_PEAK_GROWTH}x)"
+    );
+
+    let mut det_arms = String::new();
+    for (queries, _, d, report) in &arms {
+        let _ = writeln!(
+            det_arms,
+            "      {{ \"queries\": {queries}, \"completed\": {}, \"simulated_duration_s\": \
+             {:.3}, \"jobs_per_sim_s\": {:.5}, \"peak_tracked\": {}, \"retained_outcomes\": {}, \
+             \"backbone_syncs\": {}, \"digest\": \"{:016x}\" }},",
+            report.fleet.completed(),
+            report.fleet.duration_s,
+            report.fleet.throughput_jobs_per_s(),
+            report.peak_tracked,
+            report.fleet.outcomes.len(),
+            report.backbone_syncs,
+            fingerprint(d),
+        );
+    }
+    let det_arms = det_arms.trim_end().trim_end_matches(',').to_string();
+    let deterministic = format!(
+        "  \"deterministic\": {{\n    \"workload\": \"{}dc_tiled_{}shards_hier_mixed_rate{}\",\n    \
+         \"retain_outcomes\": {RETAIN_OUTCOMES},\n    \"arms\": [\n{det_arms}\n    ]\n  }}",
+        scale.n_dcs, scale.shards, RATE_PER_S,
+    );
+
+    let mut wall_arms = String::new();
+    for (queries, wall_s, _, _) in &arms {
+        let _ = writeln!(
+            wall_arms,
+            "    {{ \"queries\": {queries}, \"wall_s\": {wall_s:.3}, \"jobs_per_wall_s\": \
+             {:.1} }},",
+            *queries as f64 / wall_s.max(1e-12),
+        );
+    }
+    let wall_arms = wall_arms.trim_end().trim_end_matches(',').to_string();
+
+    let json = format!(
+        "{{\n  \"bench\": \"scale\",\n  \"mode\": \"{}\",\n{deterministic},\n  \"wall\": \
+         [\n{wall_arms}\n  ]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+    );
+    print!("{json}");
+
+    if check {
+        // Drift gate: the committed file must carry this run's
+        // deterministic section verbatim; wall-clock fields are exempt.
+        let path = out.as_deref().unwrap_or("BENCH_scale.json");
+        let committed = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("--check: cannot read {path}: {e}"));
+        assert!(
+            committed.contains(&deterministic),
+            "--check: deterministic section of {path} does not match this run — the scale \
+             trajectory drifted; re-run bench_scale and commit the new baseline if intended"
+        );
+        eprintln!("{path}: deterministic section matches");
+    } else if let Some(path) = out {
+        std::fs::write(&path, &json).expect("write benchmark JSON");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = digest_path {
+        let mut all = String::new();
+        for (queries, _, d, _) in &arms {
+            let _ = writeln!(all, "== {queries} queries ==");
+            all.push_str(d);
+        }
+        std::fs::write(&path, &all).expect("write digest");
+        eprintln!("wrote {path}");
+    }
+
+    if !smoke {
+        let (queries, wall_s, _, _) = arms.last().expect("at least one arm");
+        let jobs_per_wall_s = *queries as f64 / wall_s.max(1e-12);
+        assert!(
+            jobs_per_wall_s >= MIN_JOBS_PER_WALL_S,
+            "scale throughput regressed below {MIN_JOBS_PER_WALL_S} jobs per wall-second at \
+             the {queries}-query arm: {jobs_per_wall_s:.1}"
+        );
+    }
+}

@@ -15,16 +15,18 @@
 //!   engine, the decomposition win the sharded fleet exists for
 //!   (smaller per-shard fairness solves × rayon parallelism).
 //!
-//! Usage: `bench_sharded [--smoke] [--out PATH] [--digest PATH]`
+//! Usage: `bench_sharded [--smoke] [--out PATH] [--digest PATH] [--queries N]`
 //!   --smoke    small fleet (CI); skips writing JSON unless --out is given
 //!              and skips the machine-dependent speedup floor.
 //!   --out      JSON output path (default `BENCH_sharded.json`, full mode).
 //!   --digest   also write one line per outcome with bit-exact simulated
 //!              results (no wall times) — the CI determinism matrix diffs
 //!              this file across RAYON_NUM_THREADS values.
+//!   --queries  override the query count of the selected mode.
 
 use std::fmt::Write as _;
 use std::time::Instant;
+use wanify_bench::BenchArgs;
 use wanify_gda::{
     Arrivals, FleetConfig, FleetEngine, FleetReport, JobProfile, RoundRobinShards,
     ShardedFleetEngine, ShardedFleetReport, Tetrium,
@@ -41,7 +43,13 @@ fn shard_engine(n: usize, max_concurrent: usize) -> FleetEngine {
         NetSim::new(paper_testbed_n(VmType::t2_medium(), n), LinkModelParams::frozen(), 11),
         Box::new(Tetrium::new()),
         Box::new(wanify::StaticIndependent::new()),
-        FleetConfig { max_concurrent, regauge_every_s: 300.0, conns: None, faults: None },
+        FleetConfig {
+            max_concurrent,
+            regauge_every_s: 300.0,
+            conns: None,
+            faults: None,
+            ..FleetConfig::default()
+        },
     )
 }
 
@@ -92,23 +100,16 @@ fn assert_identical(label: &str, a: &FleetReport, b: &FleetReport) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let path_arg = |flag: &str| match args.iter().position(|a| a == flag) {
-        Some(i) => match args.get(i + 1) {
-            Some(path) if !path.starts_with("--") => Some(path.clone()),
-            _ => {
-                eprintln!("error: {flag} requires a path argument");
-                std::process::exit(2);
-            }
-        },
-        None => None,
-    };
-    let out = path_arg("--out").or_else(|| (!smoke).then(|| "BENCH_sharded.json".to_string()));
-    let digest_path = path_arg("--digest");
+    let args = BenchArgs::parse();
+    let smoke = args.smoke;
+    let out = args.out("BENCH_sharded.json");
+    let digest_path = args.path("--digest");
 
-    let (n, n_jobs, shard_counts): (usize, usize, &[usize]) =
+    let (n, mut n_jobs, shard_counts): (usize, usize, &[usize]) =
         if smoke { (4, 16, &[1, 2, 4]) } else { (8, 60, &[1, 2, 4, 8]) };
+    if let Some(q) = args.count("--queries") {
+        n_jobs = q;
+    }
     let max_concurrent = n_jobs;
     let trace =
         regional_mixed_trace(&TraceConfig::new(n, n_jobs, 42).scaled(0.5), backbone(n).groups());

@@ -1,13 +1,84 @@
-//! Shared workload builders for the netsim perf targets.
+//! Shared workload builders and CLI plumbing for the perf targets.
 //!
 //! Both `benches/netsim_core.rs` and the `bench_netsim` baseline runner
 //! measure the same 8-DC all-pairs workload; defining it once here keeps
 //! the criterion microbenches and the committed `BENCH_netsim.json`
-//! trajectory comparable over time.
+//! trajectory comparable over time. [`BenchArgs`] is the one argv parser
+//! every `bench_*` binary shares, so flags behave identically across the
+//! whole suite.
 
 use wanify_netsim::{
     paper_testbed_n, DcId, EpochCtx, EpochHook, FlowSpec, LinkModelParams, NetSim, Transfer, VmType,
 };
+
+/// The common `bench_*` command line: `[--smoke] [--out PATH]` plus
+/// per-binary extras read through [`BenchArgs::flag`],
+/// [`BenchArgs::path`] and [`BenchArgs::count`].
+///
+/// Conventions shared by every runner:
+/// * `--smoke` selects the small CI workload **and** suppresses the
+///   default output file — smoke numbers must never overwrite a
+///   committed full-mode baseline;
+/// * `--out PATH` forces writing to `PATH` in either mode;
+/// * flags that need a value exit with status 2 and a message on stderr
+///   when the value is missing or malformed.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// `--smoke`: small CI workload, no default output file.
+    pub smoke: bool,
+    args: Vec<String>,
+}
+
+impl BenchArgs {
+    /// Parses the process arguments.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1).collect())
+    }
+
+    /// Parses an explicit argument vector (tests).
+    pub fn from_args(args: Vec<String>) -> Self {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        Self { smoke, args }
+    }
+
+    /// Whether a bare flag (e.g. `--check`) is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    /// The value of a path flag (e.g. `--digest PATH`), if present.
+    /// Exits with status 2 when the flag is given without a path.
+    pub fn path(&self, flag: &str) -> Option<String> {
+        let i = self.args.iter().position(|a| a == flag)?;
+        match self.args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => Some(path.clone()),
+            _ => {
+                eprintln!("error: {flag} requires a path argument");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The value of a numeric flag (e.g. `--queries N`), if present.
+    /// Exits with status 2 when the value is missing or not a count.
+    pub fn count(&self, flag: &str) -> Option<usize> {
+        let i = self.args.iter().position(|a| a == flag)?;
+        match self.args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n > 0 => Some(n),
+            _ => {
+                eprintln!("error: {flag} requires a positive integer argument");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The output path: `--out PATH` when given, else `default` in full
+    /// mode, else `None` (smoke runs don't overwrite committed
+    /// baselines).
+    pub fn out(&self, default: &str) -> Option<String> {
+        self.path("--out").or_else(|| (!self.smoke).then(|| default.to_string()))
+    }
+}
 
 /// A hook that does nothing — forces `run_transfers` onto the per-epoch
 /// path (one fairness solve per epoch, the pre-coalescing cost model)

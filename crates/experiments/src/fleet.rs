@@ -130,6 +130,7 @@ pub fn run(effort: Effort, seed: u64) -> FleetResult {
                     regauge_every_s: 120.0,
                     conns: None,
                     faults: None,
+                    ..FleetConfig::default()
                 },
             )
             .run(&trace, &Arrivals::Poisson { rate_per_s: rate, seed: seed ^ 0xBEEF })

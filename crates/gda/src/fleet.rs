@@ -32,6 +32,7 @@ use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use crate::executor::{JobRun, JobStep};
 use crate::job::JobProfile;
 use crate::scheduler::Scheduler;
+use crate::sketch::{ClassAggregates, StreamingPercentiles};
 use crate::QueryReport;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -129,11 +130,25 @@ pub struct FleetConfig {
     /// Stall detection and recovery; `None` keeps the legacy behaviour
     /// (a permanently stalled flow is a fleet error, not a retry).
     pub faults: Option<FaultPolicy>,
+    /// Per-query [`JobOutcome`] retention cap. Completions beyond this
+    /// many are still fully accounted — streaming P² percentile sketches
+    /// and per-tenant-class aggregates absorb every query — but their
+    /// individual outcomes are dropped, bounding the run's memory at any
+    /// fleet size. The default (`usize::MAX`) retains everything, so
+    /// reports stay exact and bit-identical to the uncapped engine; a
+    /// capped run's report is [`sketched`](FleetReport::sketched).
+    pub retain_outcomes: usize,
 }
 
 impl Default for FleetConfig {
     fn default() -> Self {
-        Self { max_concurrent: 16, regauge_every_s: 60.0, conns: None, faults: None }
+        Self {
+            max_concurrent: 16,
+            regauge_every_s: 60.0,
+            conns: None,
+            faults: None,
+            retain_outcomes: usize::MAX,
+        }
     }
 }
 
@@ -238,15 +253,65 @@ impl Percentiles {
     }
 }
 
+/// Constant-memory accounting of a fleet run: everything the report
+/// needs that would otherwise be recomputed by iterating the retained
+/// [`JobOutcome`]s — which a capped run no longer has. Fed one outcome
+/// at a time in completion order, so an uncapped run's totals are
+/// bit-identical to iterating its outcome vector.
+#[derive(Debug, Clone, Default)]
+pub struct StreamingTotals {
+    /// Queries completed (including failed ones).
+    pub completed: usize,
+    /// Queries aborted by the fault policy.
+    pub failed: usize,
+    /// Streaming queue-wait statistics (arrival → admission).
+    pub queue_wait: StreamingPercentiles,
+    /// Streaming makespan statistics (admission → completion).
+    pub makespan: StreamingPercentiles,
+    /// Total egress gigabytes that crossed the WAN.
+    pub egress_gb: f64,
+    /// Total dollars across all queries (compute + network + storage).
+    pub cost_usd: f64,
+    /// Network (egress) dollars across all queries.
+    pub network_cost_usd: f64,
+    /// Per-tenant-class roll-ups, keyed by workload family.
+    pub classes: ClassAggregates,
+}
+
+impl StreamingTotals {
+    /// Absorbs one completed query, in completion order.
+    pub fn absorb(&mut self, outcome: &JobOutcome) {
+        self.completed += 1;
+        if outcome.failed {
+            self.failed += 1;
+        }
+        let makespan_s = outcome.makespan_s();
+        let queue_wait_s = outcome.queue_wait_s();
+        self.queue_wait.observe(queue_wait_s);
+        self.makespan.observe(makespan_s);
+        let egress = outcome.report.egress_gb.iter().sum::<f64>();
+        self.egress_gb += egress;
+        self.cost_usd += outcome.report.cost.total_usd();
+        self.network_cost_usd += outcome.report.cost.network_usd;
+        self.classes.record(&outcome.report.job, makespan_s, queue_wait_s, egress, outcome.failed);
+    }
+}
+
 /// Aggregate outcome of one fleet run.
 ///
-/// Built through [`FleetReport::new`], which computes the order
-/// statistics once; [`FleetReport::queue_wait`] and
-/// [`FleetReport::makespan`] return the cached values instead of
-/// re-sorting the outcome vectors on every call.
+/// Built through [`FleetReport::new`] (exact: order statistics computed
+/// once from the full outcome vector) or [`FleetReport::streamed`]
+/// (sketched: the run completed more queries than its
+/// [`FleetConfig::retain_outcomes`] cap, `outcomes` holds only the
+/// retained prefix and the statistics come from the streaming sketches).
+/// [`FleetReport::queue_wait`] and [`FleetReport::makespan`] return the
+/// cached values either way.
 #[derive(Debug, Clone)]
 pub struct FleetReport {
-    /// Per-job outcomes in completion order.
+    /// Per-job outcomes in completion order. In a
+    /// [`sketched`](FleetReport::sketched) report this is only the
+    /// retained prefix — use [`FleetReport::completed`] for the real
+    /// count and the aggregate accessors for totals.
     pub outcomes: Vec<JobOutcome>,
     /// Simulated seconds from the first arrival to the last completion.
     pub duration_s: f64,
@@ -261,6 +326,12 @@ pub struct FleetReport {
     pub faults: FaultCounters,
     /// Serving-layer counters (all zero when no gateway fronted the run).
     pub serving: ServingCounters,
+    /// Streaming aggregates (exact replays of the outcome vector for an
+    /// uncapped run).
+    totals: StreamingTotals,
+    /// Whether the percentile statistics are sketch estimates rather
+    /// than exact order statistics.
+    sketched: bool,
     /// Queue-wait order statistics, computed at construction.
     queue_wait: Percentiles,
     /// Makespan order statistics, computed at construction.
@@ -268,8 +339,8 @@ pub struct FleetReport {
 }
 
 impl FleetReport {
-    /// Assembles a report, computing the order statistics of `outcomes`
-    /// exactly once.
+    /// Assembles an exact report, computing the order statistics of
+    /// `outcomes` exactly once.
     pub fn new(
         outcomes: Vec<JobOutcome>,
         duration_s: f64,
@@ -280,6 +351,10 @@ impl FleetReport {
     ) -> Self {
         let waits: Vec<f64> = outcomes.iter().map(JobOutcome::queue_wait_s).collect();
         let makespans: Vec<f64> = outcomes.iter().map(JobOutcome::makespan_s).collect();
+        let mut totals = StreamingTotals::default();
+        for outcome in &outcomes {
+            totals.absorb(outcome);
+        }
         Self {
             outcomes,
             duration_s,
@@ -288,8 +363,39 @@ impl FleetReport {
             belief,
             faults,
             serving: ServingCounters::default(),
+            totals,
+            sketched: false,
             queue_wait: Percentiles::of(&waits),
             makespan: Percentiles::of(&makespans),
+        }
+    }
+
+    /// Assembles a sketched report from a capped run: `outcomes` is the
+    /// retained prefix, `totals` carries the full-run accounting, and
+    /// the percentile statistics are the sketches' snapshots.
+    pub fn streamed(
+        outcomes: Vec<JobOutcome>,
+        duration_s: f64,
+        gauges: u64,
+        scheduler: String,
+        belief: String,
+        faults: FaultCounters,
+        totals: StreamingTotals,
+    ) -> Self {
+        let queue_wait = totals.queue_wait.snapshot();
+        let makespan = totals.makespan.snapshot();
+        Self {
+            outcomes,
+            duration_s,
+            gauges,
+            scheduler,
+            belief,
+            faults,
+            serving: ServingCounters::default(),
+            totals,
+            sketched: true,
+            queue_wait,
+            makespan,
         }
     }
 
@@ -301,44 +407,64 @@ impl FleetReport {
         self
     }
 
+    /// Whether the percentile statistics are streaming-sketch estimates
+    /// (the run outgrew its outcome-retention cap) rather than exact
+    /// order statistics.
+    pub fn sketched(&self) -> bool {
+        self.sketched
+    }
+
+    /// Queries completed, including any whose individual outcomes were
+    /// dropped by the retention cap.
+    pub fn completed(&self) -> usize {
+        self.totals.completed
+    }
+
+    /// Per-tenant-class roll-ups, keyed by workload family.
+    pub fn classes(&self) -> &ClassAggregates {
+        &self.totals.classes
+    }
+
     /// Number of jobs that were aborted by the fault policy.
     pub fn failed_jobs(&self) -> usize {
-        self.outcomes.iter().filter(|o| o.failed).count()
+        self.totals.failed
     }
 
     /// Completed queries per simulated second.
     pub fn throughput_jobs_per_s(&self) -> f64 {
         if self.duration_s > 0.0 {
-            self.outcomes.len() as f64 / self.duration_s
+            self.totals.completed as f64 / self.duration_s
         } else {
             0.0
         }
     }
 
-    /// Queue-wait order statistics (cached at construction).
+    /// Queue-wait order statistics (cached at construction; sketch
+    /// estimates in a [`sketched`](FleetReport::sketched) report).
     pub fn queue_wait(&self) -> Percentiles {
         self.queue_wait
     }
 
     /// Admission-to-completion makespan order statistics (cached at
-    /// construction).
+    /// construction; sketch estimates in a
+    /// [`sketched`](FleetReport::sketched) report).
     pub fn makespan(&self) -> Percentiles {
         self.makespan
     }
 
     /// Total egress gigabytes that crossed the WAN.
     pub fn total_egress_gb(&self) -> f64 {
-        self.outcomes.iter().map(|o| o.report.egress_gb.iter().sum::<f64>()).sum()
+        self.totals.egress_gb
     }
 
     /// Total dollars across all queries (compute + network + storage).
     pub fn total_cost_usd(&self) -> f64 {
-        self.outcomes.iter().map(|o| o.report.cost.total_usd()).sum()
+        self.totals.cost_usd
     }
 
     /// Network (egress) dollars across all queries.
     pub fn network_cost_usd(&self) -> f64 {
-        self.outcomes.iter().map(|o| o.report.cost.network_usd).sum()
+        self.totals.network_cost_usd
     }
 }
 
@@ -542,6 +668,28 @@ impl FleetEngine {
         run.run_until(f64::INFINITY)?;
         Ok(run.into_report())
     }
+
+    /// Runs `total_jobs` arrivals pulled lazily from `stream` —
+    /// `(arrival_s, profile)` pairs in non-decreasing time order — to
+    /// completion without ever materializing the trace (see
+    /// [`FleetRun::start_stream`]). Pair with a
+    /// [`FleetConfig::retain_outcomes`] cap for O(in-flight) memory end
+    /// to end; the report is then [`FleetReport::streamed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WanifyError`] exactly as [`FleetEngine::run`] does, plus
+    /// [`WanifyError::InvalidConfig`] for invalid streamed arrival times
+    /// or a stream that runs dry before `total_jobs`.
+    pub fn run_stream(
+        self,
+        total_jobs: usize,
+        stream: Box<dyn Iterator<Item = (f64, JobProfile)> + Send>,
+    ) -> Result<FleetReport, WanifyError> {
+        let mut run = FleetRun::start_stream(self, total_jobs, stream)?;
+        run.run_until(f64::INFINITY)?;
+        Ok(run.into_report())
+    }
 }
 
 /// Samples the absolute arrival time of each of `jobs` jobs from a
@@ -559,21 +707,45 @@ pub fn poisson_arrival_times(
     rate_per_s: f64,
     seed: u64,
 ) -> Result<Vec<f64>, WanifyError> {
+    Ok(poisson_times_iter(rate_per_s, seed)?.take(jobs).collect())
+}
+
+/// The streaming form of [`poisson_arrival_times`]: an unbounded,
+/// seeded, clonable iterator of absolute arrival times. Taking the
+/// first `n` items reproduces the materialized schedule bit for bit,
+/// so a million-query stream costs O(1) memory instead of a Vec.
+///
+/// # Errors
+///
+/// Returns [`WanifyError::InvalidConfig`] for a rate that is not finite
+/// and positive.
+pub fn poisson_times_iter(rate_per_s: f64, seed: u64) -> Result<PoissonTimes, WanifyError> {
     if !(rate_per_s.is_finite() && rate_per_s > 0.0) {
         return Err(WanifyError::InvalidConfig(format!(
             "Poisson arrival rate must be finite and positive, got {rate_per_s}"
         )));
     }
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut t = 0.0;
-    let mut times = Vec::with_capacity(jobs);
-    for _ in 0..jobs {
+    Ok(PoissonTimes { rng: StdRng::seed_from_u64(seed), rate_per_s, t: 0.0 })
+}
+
+/// Unbounded seeded Poisson arrival-time stream; see
+/// [`poisson_times_iter`].
+#[derive(Debug, Clone)]
+pub struct PoissonTimes {
+    rng: StdRng,
+    rate_per_s: f64,
+    t: f64,
+}
+
+impl Iterator for PoissonTimes {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
         // Exponential interarrivals: -ln(1-U)/λ, U ∈ [0, 1).
-        let u: f64 = rng.gen();
-        t += -(1.0 - u).ln() / rate_per_s;
-        times.push(t);
+        let u: f64 = self.rng.gen();
+        self.t += -(1.0 - u).ln() / self.rate_per_s;
+        Some(self.t)
     }
-    Ok(times)
 }
 
 /// Validates an explicit arrival schedule: one finite non-negative time
@@ -608,13 +780,15 @@ pub struct FleetRun {
     jobs: Vec<JobProfile>,
     timers: BinaryHeap<Timer>,
     seq: u64,
-    pending: VecDeque<(usize, f64)>,
+    pending: VecDeque<(usize, f64, JobProfile)>,
     slots: Vec<Option<ActiveRun>>,
     group_owner: HashMap<GroupId, usize>,
     /// Stalled groups already holding a pending [`TimerKind::StallCheck`].
     stall_watch: HashSet<GroupId>,
     counters: FaultCounters,
     running: usize,
+    /// Retained outcomes in completion order — the full run below the
+    /// [`FleetConfig::retain_outcomes`] cap, a prefix above it.
     outcomes: Vec<JobOutcome>,
     first_arrival_s: f64,
     /// Closed-loop bookkeeping: the index of the next unsubmitted job.
@@ -622,20 +796,78 @@ pub struct FleetRun {
     closed_think_s: f64,
     closed_clients: usize,
     closed_loop: bool,
+    /// Jobs this run will see in total (the trace length for the
+    /// materialized constructors; grows per submission for the serving
+    /// and shard-fed paths).
+    total_jobs: usize,
+    /// Jobs whose arrival timers have been armed so far.
+    issued: usize,
+    /// Jobs completed — `>= outcomes.len()` once the retention cap drops
+    /// individual outcomes.
+    completed: usize,
+    /// Constant-memory accounting, fed every outcome in completion order.
+    totals: StreamingTotals,
+    /// Streamed/fed profiles whose arrival timers are armed but have not
+    /// fired yet. FIFO: arrivals are issued in non-decreasing time order,
+    /// so the front always matches the next arrival timer.
+    incoming: VecDeque<JobProfile>,
+    /// Pull-based arrival source: `(arrival_s, profile)` pairs with
+    /// non-decreasing times, pulled one ahead so the timer heap always
+    /// knows the next arrival without materializing the rest.
+    stream: Option<Box<dyn Iterator<Item = (f64, JobProfile)> + Send>>,
+    /// Last arrival time pulled from `stream` (monotonicity guard).
+    stream_last_t: f64,
+    /// High-water mark of per-job state held at once (retained outcomes
+    /// plus queued arrivals plus materialized profiles) — the memory
+    /// proxy the scale benchmark tracks.
+    peak_tracked: usize,
 }
 
 impl std::fmt::Debug for FleetRun {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FleetRun")
             .field("fleet", &self.fleet)
-            .field("jobs", &self.jobs.len())
-            .field("completed", &self.outcomes.len())
+            .field("total_jobs", &self.total_jobs)
+            .field("completed", &self.completed)
             .field("running", &self.running)
             .finish()
     }
 }
 
 impl FleetRun {
+    /// The shared skeleton behind every constructor: a run holding
+    /// `jobs`, no timers armed yet.
+    fn fresh(fleet: FleetEngine, jobs: Vec<JobProfile>) -> Self {
+        let total_jobs = jobs.len();
+        let retained = total_jobs.min(fleet.config.retain_outcomes);
+        Self {
+            timers: BinaryHeap::new(),
+            seq: 0,
+            pending: VecDeque::new(),
+            slots: Vec::new(),
+            group_owner: HashMap::new(),
+            stall_watch: HashSet::new(),
+            counters: FaultCounters::default(),
+            running: 0,
+            outcomes: Vec::with_capacity(retained),
+            first_arrival_s: f64::INFINITY,
+            next_closed_job: 0,
+            closed_think_s: 0.0,
+            closed_clients: 0,
+            closed_loop: false,
+            total_jobs,
+            issued: total_jobs,
+            completed: 0,
+            totals: StreamingTotals::default(),
+            incoming: VecDeque::new(),
+            stream: None,
+            stream_last_t: 0.0,
+            peak_tracked: 0,
+            fleet,
+            jobs,
+        }
+    }
+
     /// Seeds the run: validates `arrivals` and schedules the arrival
     /// timers for `jobs`.
     ///
@@ -648,24 +880,8 @@ impl FleetRun {
         jobs: Vec<JobProfile>,
         arrivals: &Arrivals,
     ) -> Result<Self, WanifyError> {
-        let mut run = Self {
-            fleet,
-            timers: BinaryHeap::new(),
-            seq: 0,
-            pending: VecDeque::new(),
-            slots: Vec::new(),
-            group_owner: HashMap::new(),
-            stall_watch: HashSet::new(),
-            counters: FaultCounters::default(),
-            running: 0,
-            outcomes: Vec::with_capacity(jobs.len()),
-            first_arrival_s: f64::INFINITY,
-            next_closed_job: 0,
-            closed_think_s: 0.0,
-            closed_clients: 0,
-            closed_loop: matches!(arrivals, Arrivals::Closed { .. }),
-            jobs,
-        };
+        let mut run = Self::fresh(fleet, jobs);
+        run.closed_loop = matches!(arrivals, Arrivals::Closed { .. });
         match arrivals {
             Arrivals::Poisson { rate_per_s, seed } => {
                 let times = poisson_arrival_times(run.jobs.len(), *rate_per_s, *seed)?;
@@ -720,29 +936,84 @@ impl FleetRun {
                 jobs.len()
             )));
         }
-        let mut run = Self {
-            fleet,
-            timers: BinaryHeap::new(),
-            seq: 0,
-            pending: VecDeque::new(),
-            slots: Vec::new(),
-            group_owner: HashMap::new(),
-            stall_watch: HashSet::new(),
-            counters: FaultCounters::default(),
-            running: 0,
-            outcomes: Vec::with_capacity(jobs.len()),
-            first_arrival_s: f64::INFINITY,
-            next_closed_job: 0,
-            closed_think_s: 0.0,
-            closed_clients: 0,
-            closed_loop: false,
-            jobs,
-        };
+        let mut run = Self::fresh(fleet, jobs);
         for (idx, t) in arrival_times.into_iter().enumerate() {
             run.push_timer(t, TimerKind::Arrival(idx));
         }
         run.arm_agent();
         Ok(run)
+    }
+
+    /// Seeds a streaming run: `total_jobs` arrivals pulled lazily from
+    /// `stream`, which yields `(arrival_s, profile)` pairs in
+    /// non-decreasing time order. Only one unfired arrival is
+    /// materialized at a time, so the per-job memory held by the run is
+    /// O(in-flight + retained outcomes) instead of O(trace). With the
+    /// same jobs and arrival times, the timeline is bit-identical to the
+    /// materialized [`FleetRun::start`].
+    ///
+    /// A `stream` longer than `total_jobs` is truncated; one that runs
+    /// dry early strands the run, which then reports a stall instead of
+    /// finishing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WanifyError::InvalidConfig`] when the first streamed
+    /// arrival time is invalid (later pulls surface the same error from
+    /// the run-driving calls).
+    pub fn start_stream(
+        fleet: FleetEngine,
+        total_jobs: usize,
+        stream: Box<dyn Iterator<Item = (f64, JobProfile)> + Send>,
+    ) -> Result<Self, WanifyError> {
+        let mut run = Self::fresh(fleet, Vec::new());
+        run.total_jobs = total_jobs;
+        run.stream = Some(stream);
+        run.refill_stream()?;
+        run.arm_agent();
+        Ok(run)
+    }
+
+    /// Feeds one externally-scheduled job (the sharded driver's seam for
+    /// window-by-window streaming): `idx` is the caller's global job
+    /// index, which travels with the outcome. Arrivals must be fed in
+    /// non-decreasing `arrival_s` order, at or after this run's current
+    /// simulated time.
+    pub(crate) fn feed_job(&mut self, idx: usize, job: JobProfile, arrival_s: f64) {
+        self.total_jobs += 1;
+        self.issued += 1;
+        self.incoming.push_back(job);
+        self.push_timer(arrival_s, TimerKind::Arrival(idx));
+        self.note_tracked();
+    }
+
+    /// Pulls the next arrival (if any) from the stream and arms its
+    /// timer. Called once at start and once per fired arrival, keeping
+    /// exactly one unfired streamed arrival materialized.
+    fn refill_stream(&mut self) -> Result<(), WanifyError> {
+        if self.issued >= self.total_jobs {
+            return Ok(());
+        }
+        let Some(stream) = self.stream.as_mut() else { return Ok(()) };
+        let Some((at_s, job)) = stream.next() else { return Ok(()) };
+        if !(at_s.is_finite() && at_s >= 0.0) {
+            return Err(WanifyError::InvalidConfig(format!(
+                "streamed arrival times must be finite and non-negative, got {at_s}"
+            )));
+        }
+        if at_s < self.stream_last_t {
+            return Err(WanifyError::InvalidConfig(format!(
+                "streamed arrivals must be non-decreasing, got {at_s} after {}",
+                self.stream_last_t
+            )));
+        }
+        self.stream_last_t = at_s;
+        let idx = self.issued;
+        self.issued += 1;
+        self.incoming.push_back(job);
+        self.push_timer(at_s, TimerKind::Arrival(idx));
+        self.note_tracked();
+        Ok(())
     }
 
     /// Seeds an empty serving run: no trace, no arrival timers. A
@@ -752,24 +1023,7 @@ impl FleetRun {
     /// pending queue only ever holds jobs the front-end has already
     /// decided to admit.
     pub fn start_serving(fleet: FleetEngine) -> Self {
-        let mut run = Self {
-            fleet,
-            timers: BinaryHeap::new(),
-            seq: 0,
-            pending: VecDeque::new(),
-            slots: Vec::new(),
-            group_owner: HashMap::new(),
-            stall_watch: HashSet::new(),
-            counters: FaultCounters::default(),
-            running: 0,
-            outcomes: Vec::new(),
-            first_arrival_s: f64::INFINITY,
-            next_closed_job: 0,
-            closed_think_s: 0.0,
-            closed_clients: 0,
-            closed_loop: false,
-            jobs: Vec::new(),
-        };
+        let mut run = Self::fresh(fleet, Vec::new());
         run.arm_agent();
         run
     }
@@ -782,8 +1036,11 @@ impl FleetRun {
     pub fn submit_job(&mut self, job: JobProfile) -> usize {
         let idx = self.jobs.len();
         self.jobs.push(job);
+        self.total_jobs += 1;
+        self.issued += 1;
         let now = self.fleet.engine.sim().time_s();
         self.push_timer(now, TimerKind::Arrival(idx));
+        self.note_tracked();
         idx
     }
 
@@ -797,7 +1054,7 @@ impl FleetRun {
     /// while `in_service() < max_concurrent()` so nothing it submits
     /// waits invisibly inside the run.
     pub fn in_service(&self) -> usize {
-        self.jobs.len() - self.outcomes.len()
+        self.issued - self.completed
     }
 
     /// The admission limit of the underlying fleet.
@@ -805,9 +1062,33 @@ impl FleetRun {
         self.fleet.config.max_concurrent
     }
 
-    /// Outcomes so far, in completion order.
+    /// Retained outcomes so far, in completion order (the full set below
+    /// the [`FleetConfig::retain_outcomes`] cap, a prefix above it — see
+    /// [`FleetRun::completed`] for the true count).
     pub fn outcomes(&self) -> &[JobOutcome] {
         &self.outcomes
+    }
+
+    /// Queries completed so far, including any whose individual outcomes
+    /// were dropped by the retention cap.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// High-water mark of per-job state this run has held at once:
+    /// retained outcomes + queued arrivals + materialized profiles. The
+    /// memory proxy the scale benchmark tracks — O(trace) for the
+    /// materialized constructors, O(in-flight + retained) for
+    /// [`FleetRun::start_stream`] under a retention cap.
+    pub fn peak_tracked(&self) -> usize {
+        self.peak_tracked
+    }
+
+    /// Records the high-water mark of per-job state held right now.
+    fn note_tracked(&mut self) {
+        let tracked =
+            self.outcomes.len() + self.pending.len() + self.incoming.len() + self.jobs.len();
+        self.peak_tracked = self.peak_tracked.max(tracked);
     }
 
     /// The shared belief cache's current bandwidth matrix, if anything
@@ -831,7 +1112,7 @@ impl FleetRun {
 
     /// Whether every job has completed.
     pub fn finished(&self) -> bool {
-        self.outcomes.len() == self.jobs.len()
+        self.completed == self.total_jobs
     }
 
     /// Current simulated time of this fleet's WAN.
@@ -909,9 +1190,9 @@ impl FleetRun {
     /// job has completed and its instant is fully processed. Returns the
     /// number of jobs completed during the call.
     fn drive(&mut self, deadline_s: f64, stop_on_completion: bool) -> Result<usize, WanifyError> {
-        let completed_at_entry = self.outcomes.len();
-        while self.outcomes.len() < self.jobs.len() {
-            if stop_on_completion && self.outcomes.len() > completed_at_entry {
+        let completed_at_entry = self.completed;
+        while self.completed < self.total_jobs {
+            if stop_on_completion && self.completed > completed_at_entry {
                 break;
             }
             let now = self.fleet.engine.sim().time_s();
@@ -921,8 +1202,8 @@ impl FleetRun {
             // so completions from any path (timer or engine event) pace
             // the next submission.
             if self.closed_loop {
-                while self.next_closed_job < self.jobs.len()
-                    && self.next_closed_job < self.closed_clients + self.outcomes.len()
+                while self.next_closed_job < self.total_jobs
+                    && self.next_closed_job < self.closed_clients + self.completed
                 {
                     let idx = self.next_closed_job;
                     self.push_timer(now + self.closed_think_s, TimerKind::Arrival(idx));
@@ -938,7 +1219,16 @@ impl FleetRun {
                 match timer.kind {
                     TimerKind::Arrival(idx) => {
                         self.first_arrival_s = self.first_arrival_s.min(now);
-                        self.pending.push_back((idx, now));
+                        // Streamed/fed arrivals carry their profile in the
+                        // FIFO; materialized runs clone from the trace —
+                        // the same value the admit path used to clone.
+                        let job = match self.incoming.pop_front() {
+                            Some(job) => job,
+                            None => self.jobs[idx].clone(),
+                        };
+                        self.pending.push_back((idx, now, job));
+                        self.note_tracked();
+                        self.refill_stream()?;
                     }
                     TimerKind::ComputeDone(slot) => {
                         let step = self.slots[slot]
@@ -976,7 +1266,7 @@ impl FleetRun {
                         self.agent_wake();
                         // Recurring while work remains; the last wake dies
                         // with the last job so the run can terminate.
-                        if self.outcomes.len() < self.jobs.len() {
+                        if self.completed < self.total_jobs {
                             if let Some(agent) = &self.fleet.agent {
                                 self.push_timer(now + agent.interval_s, TimerKind::AgentWake);
                             }
@@ -987,8 +1277,7 @@ impl FleetRun {
 
             // Admit from the queue while the limit allows.
             while self.running < self.fleet.config.max_concurrent && !self.pending.is_empty() {
-                let (idx, arrived_s) = self.pending.pop_front().expect("non-empty");
-                let job = self.jobs[idx].clone();
+                let (idx, arrived_s, job) = self.pending.pop_front().expect("non-empty");
                 let slot = self.admit(idx, job, arrived_s)?;
                 let step = self.slots[slot]
                     .as_mut()
@@ -1003,11 +1292,11 @@ impl FleetRun {
                 // timer" means; re-evaluate before advancing time.
                 continue;
             }
-            if self.outcomes.len() == self.jobs.len() {
+            if self.completed == self.total_jobs {
                 break;
             }
             if now >= deadline_s {
-                return Ok(self.outcomes.len() - completed_at_entry);
+                return Ok(self.completed - completed_at_entry);
             }
 
             let next_timer_s = self.timers.peek().map_or(f64::INFINITY, |t| t.at_s);
@@ -1065,10 +1354,12 @@ impl FleetRun {
                 self.dispatch(slot, step);
             }
         }
-        Ok(self.outcomes.len() - completed_at_entry)
+        Ok(self.completed - completed_at_entry)
     }
 
-    /// Finalizes the run into its report.
+    /// Finalizes the run into its report: exact when every outcome was
+    /// retained, [`FleetReport::streamed`] (sketch-backed statistics,
+    /// prefix of outcomes) when the retention cap dropped some.
     pub fn into_report(self) -> FleetReport {
         let duration_s = if self.first_arrival_s.is_finite() {
             self.fleet.engine.sim().time_s() - self.first_arrival_s
@@ -1077,14 +1368,26 @@ impl FleetRun {
         };
         let mut counters = self.counters;
         counters.degraded_s = self.fleet.engine.sim().degraded_s();
-        FleetReport::new(
-            self.outcomes,
-            duration_s,
-            self.fleet.gauges,
-            self.fleet.scheduler.name().to_string(),
-            self.fleet.source.name().to_string(),
-            counters,
-        )
+        if self.completed > self.outcomes.len() {
+            FleetReport::streamed(
+                self.outcomes,
+                duration_s,
+                self.fleet.gauges,
+                self.fleet.scheduler.name().to_string(),
+                self.fleet.source.name().to_string(),
+                counters,
+                self.totals,
+            )
+        } else {
+            FleetReport::new(
+                self.outcomes,
+                duration_s,
+                self.fleet.gauges,
+                self.fleet.scheduler.name().to_string(),
+                self.fleet.source.name().to_string(),
+                counters,
+            )
+        }
     }
 
     /// This shard's current demand on every directed cross-group trunk
@@ -1108,6 +1411,23 @@ impl FleetRun {
         self.fleet.engine.apply_backbone_allocation(group_of, share_mbps, demand_mbps);
     }
 
+    /// Applies several backbone tiers at once, composed cell-wise (see
+    /// [`NetEngine::apply_backbone_tiers`]); the hierarchical sharded
+    /// driver's seam.
+    pub(crate) fn apply_backbone_tiers(
+        &mut self,
+        tiers: &[(&[usize], &wanify_netsim::Grid<f64>, &wanify_netsim::Grid<f64>)],
+    ) {
+        self.fleet.engine.apply_backbone_tiers(tiers);
+    }
+
+    /// Hands the retained outcomes to the caller, leaving the run's
+    /// vector empty (the sharded streaming driver drains every shard at
+    /// each sync point so per-shard memory stays bounded by one window).
+    pub(crate) fn take_outcomes(&mut self) -> Vec<JobOutcome> {
+        std::mem::take(&mut self.outcomes)
+    }
+
     fn push_timer(&mut self, at_s: f64, kind: TimerKind) {
         self.timers.push(Timer { at_s, seq: self.seq, kind });
         self.seq += 1;
@@ -1116,8 +1436,8 @@ impl FleetRun {
     fn stall_error(&self, what: &str) -> WanifyError {
         WanifyError::InvalidConfig(format!(
             "{what} ({} of {} jobs unfinished)",
-            self.jobs.len() - self.outcomes.len(),
-            self.jobs.len()
+            self.total_jobs - self.completed,
+            self.total_jobs
         ))
     }
 
@@ -1184,7 +1504,7 @@ impl FleetRun {
             JobStep::Done(report) => {
                 let active = self.slots[slot].take().expect("finalizing a live run");
                 self.running -= 1;
-                self.outcomes.push(JobOutcome {
+                self.record_outcome(JobOutcome {
                     job_idx: active.job_idx,
                     report: *report,
                     arrived_s: active.arrived_s,
@@ -1196,7 +1516,7 @@ impl FleetRun {
             JobStep::Failed(report) => {
                 let active = self.slots[slot].take().expect("finalizing a live run");
                 self.running -= 1;
-                self.outcomes.push(JobOutcome {
+                self.record_outcome(JobOutcome {
                     job_idx: active.job_idx,
                     report: *report,
                     arrived_s: active.arrived_s,
@@ -1205,6 +1525,17 @@ impl FleetRun {
                     failed: true,
                 });
             }
+        }
+    }
+
+    /// Accounts one completion: the streaming totals always absorb it,
+    /// the outcome vector keeps it only below the retention cap.
+    fn record_outcome(&mut self, outcome: JobOutcome) {
+        self.completed += 1;
+        self.totals.absorb(&outcome);
+        if self.outcomes.len() < self.fleet.config.retain_outcomes {
+            self.outcomes.push(outcome);
+            self.note_tracked();
         }
     }
 

@@ -36,6 +36,18 @@
 //!   coupled through a [`wanify_netsim::Backbone`] epoch exchange, run on
 //!   rayon with a deterministic merge. One shard reproduces `FleetEngine`
 //!   bit for bit; results are identical at any thread count.
+//!
+//! The fleet scales past materialized traces: arrivals can be pulled
+//! lazily from an iterator ([`fleet::FleetRun::start_stream`],
+//! [`sharded::ShardedFleetEngine::run_stream`]) so the trace is O(1)
+//! memory, per-job accounting can be capped
+//! ([`fleet::FleetConfig::retain_outcomes`]) with everything past the cap
+//! folded into deterministic P² percentile [`sketch`]es and
+//! per-tenant-class aggregates (sums stay bitwise-exact), and shards can
+//! be coupled through a two-tier [`wanify_netsim::BackboneHierarchy`]
+//! (regional trunks every sync window, continental trunks every Nth) for
+//! tiled 64+ DC topologies. `BENCH_scale.json` pins the resulting
+//! 60 → 10k → 100k query trajectory with a flat memory ceiling.
 
 pub mod cost;
 pub mod executor;
@@ -43,13 +55,15 @@ pub mod fleet;
 pub mod job;
 pub mod scheduler;
 pub mod sharded;
+pub mod sketch;
 pub mod storage;
 
 pub use cost::{CostBreakdown, CostModel};
 pub use executor::{run_job, JobRun, JobStep, QueryReport, TransferOptions};
 pub use fleet::{
-    poisson_arrival_times, Arrivals, FaultCounters, FaultPolicy, FleetAgent, FleetConfig,
-    FleetEngine, FleetReport, FleetRun, JobOutcome, Percentiles, ServingCounters,
+    poisson_arrival_times, poisson_times_iter, Arrivals, FaultCounters, FaultPolicy, FleetAgent,
+    FleetConfig, FleetEngine, FleetReport, FleetRun, JobOutcome, Percentiles, PoissonTimes,
+    ServingCounters, StreamingTotals,
 };
 pub use job::{JobProfile, StageProfile};
 pub use scheduler::{Kimchi, PlacementCtx, Scheduler, Tetrium, VanillaSpark};
@@ -57,4 +71,5 @@ pub use sharded::{
     RegionGroupShards, RoundRobinShards, ShardPolicy, ShardedFleetEngine, ShardedFleetReport,
     TenantClassShards,
 };
+pub use sketch::{job_family, ClassAggregates, ClassStats, P2Quantile, StreamingPercentiles};
 pub use storage::DataLayout;

@@ -30,11 +30,17 @@
 //! [`FleetEngine::run`](crate::FleetEngine::run) bit for bit (pinned by
 //! the `sharded_parity` proptest).
 
-use crate::fleet::{self, Arrivals, FleetEngine, FleetReport, FleetRun, JobOutcome};
+use crate::fleet::{
+    self, Arrivals, FleetEngine, FleetReport, FleetRun, JobOutcome, StreamingTotals,
+};
 use crate::job::JobProfile;
 use rayon::prelude::*;
 use wanify::WanifyError;
-use wanify_netsim::{Backbone, Grid, Topology};
+use wanify_netsim::{Backbone, BackboneHierarchy, Grid, Topology};
+
+/// A coarse-tier grant held between refreshes: per-shard shares and the
+/// demand snapshot they were computed against.
+type TierGrant = (Vec<Grid<f64>>, Vec<Grid<f64>>);
 
 /// Assigns every job of a trace to a shard.
 ///
@@ -167,6 +173,11 @@ pub struct ShardedFleetReport {
     pub policy: String,
     /// Backbone epoch exchanges performed (0 when uncoupled).
     pub backbone_syncs: u64,
+    /// Peak per-job state the fleet held at once: the sum of every
+    /// shard's [`FleetRun::peak_tracked`] plus the outcomes the driver
+    /// retained — the memory proxy `bench_scale` tracks. Materialized
+    /// runs hold the whole trace; streamed runs hold one window.
+    pub peak_tracked: usize,
 }
 
 impl ShardedFleetReport {
@@ -175,9 +186,11 @@ impl ShardedFleetReport {
         self.per_shard.len()
     }
 
-    /// Jobs served per shard, in shard order.
+    /// Jobs served per shard, in shard order (counts every completion,
+    /// including outcomes a streaming run has already drained or a
+    /// retention cap has dropped).
     pub fn shard_sizes(&self) -> Vec<usize> {
-        self.per_shard.iter().map(|r| r.outcomes.len()).collect()
+        self.per_shard.iter().map(FleetReport::completed).collect()
     }
 }
 
@@ -186,6 +199,7 @@ pub struct ShardedFleetEngine {
     shards: Vec<FleetEngine>,
     policy: Box<dyn ShardPolicy>,
     backbone: Option<Backbone>,
+    hierarchy: Option<BackboneHierarchy>,
 }
 
 impl std::fmt::Debug for ShardedFleetEngine {
@@ -194,6 +208,7 @@ impl std::fmt::Debug for ShardedFleetEngine {
             .field("shards", &self.shards.len())
             .field("policy", &self.policy.name())
             .field("backbone", &self.backbone.is_some())
+            .field("hierarchy", &self.hierarchy.is_some())
             .finish()
     }
 }
@@ -215,7 +230,69 @@ impl ShardedFleetEngine {
         backbone: Option<Backbone>,
     ) -> Self {
         assert!(!shards.is_empty(), "a sharded fleet needs at least one shard");
-        Self { shards, policy, backbone }
+        Self { shards, policy, backbone, hierarchy: None }
+    }
+
+    /// Couples the shards through a two-tier [`BackboneHierarchy`]
+    /// instead of a flat backbone: the fine tier (e.g. regional trunks)
+    /// exchanges every one of its sync windows, the coarse tier (e.g.
+    /// continental trunks) only every
+    /// [`sync_ratio`](BackboneHierarchy::sync_ratio)-th window, its last
+    /// grant persisting in between. Both tiers' caps compose cell-wise,
+    /// so a flow crossing both a regional and a continental boundary is
+    /// bounded by the tighter of its two grants. Replaces any flat
+    /// backbone passed to [`ShardedFleetEngine::new`].
+    #[must_use]
+    pub fn with_hierarchy(mut self, hierarchy: BackboneHierarchy) -> Self {
+        self.backbone = None;
+        self.hierarchy = Some(hierarchy);
+        self
+    }
+
+    /// Validates shard topologies and the coupling's group maps; returns
+    /// the common DC count.
+    fn validate_shards(&self) -> Result<usize, WanifyError> {
+        let n_dcs = self.shards[0].sim().topology().len();
+        let coupling_groups = match (&self.hierarchy, &self.backbone) {
+            (Some(h), _) => Some(h.tier1().groups().len()),
+            (None, Some(bb)) => Some(bb.groups().len()),
+            (None, None) => None,
+        };
+        if let Some(got) = coupling_groups {
+            if got != n_dcs {
+                return Err(WanifyError::DimensionMismatch { expected: n_dcs, got });
+            }
+        }
+        for (s, shard) in self.shards.iter().enumerate() {
+            if shard.sim().topology().len() != n_dcs {
+                return Err(WanifyError::DimensionMismatch {
+                    expected: n_dcs,
+                    got: shard.sim().topology().len(),
+                });
+            }
+            if shard.sim().topology() != self.shards[0].sim().topology() {
+                return Err(WanifyError::InvalidConfig(format!(
+                    "shard {s} simulates a different topology than shard 0; every shard \
+                     must replicate the same WAN"
+                )));
+            }
+        }
+        Ok(n_dcs)
+    }
+
+    /// The driver's sync-window length: the fine tier's cadence under a
+    /// hierarchy, the flat backbone's otherwise, and unbounded when the
+    /// shards are uncoupled (no coupling, or a single shard that owns
+    /// every trunk outright).
+    fn sync_window_s(&self) -> f64 {
+        if self.shards.len() < 2 {
+            return f64::INFINITY;
+        }
+        match (&self.hierarchy, &self.backbone) {
+            (Some(h), _) => h.tier1().sync_every_s(),
+            (None, Some(bb)) => bb.sync_every_s(),
+            (None, None) => f64::INFINITY,
+        }
     }
 
     /// Serves `jobs` across the shards and returns the merged report.
@@ -244,29 +321,8 @@ impl ShardedFleetEngine {
         arrivals: &Arrivals,
     ) -> Result<ShardedFleetReport, WanifyError> {
         let n_shards = self.shards.len();
-        let n_dcs = self.shards[0].sim().topology().len();
-        if let Some(bb) = &self.backbone {
-            if bb.groups().len() != n_dcs {
-                return Err(WanifyError::DimensionMismatch {
-                    expected: n_dcs,
-                    got: bb.groups().len(),
-                });
-            }
-        }
-        for (s, shard) in self.shards.iter().enumerate() {
-            if shard.sim().topology().len() != n_dcs {
-                return Err(WanifyError::DimensionMismatch {
-                    expected: n_dcs,
-                    got: shard.sim().topology().len(),
-                });
-            }
-            if shard.sim().topology() != self.shards[0].sim().topology() {
-                return Err(WanifyError::InvalidConfig(format!(
-                    "shard {s} simulates a different topology than shard 0; every shard \
-                     must replicate the same WAN"
-                )));
-            }
-        }
+        self.validate_shards()?;
+        let sync_window = self.sync_window_s();
 
         // Partition the trace, preserving order within each shard.
         let mut per_shard_jobs: Vec<Vec<JobProfile>> = vec![Vec::new(); n_shards];
@@ -341,24 +397,22 @@ impl ShardedFleetEngine {
             }
         }
 
-        // Sync windows: with a backbone and ≥ 2 shards, pause every shard
-        // each `sync_every_s` simulated seconds for the epoch exchange;
+        // Sync windows: with a coupling and ≥ 2 shards, pause every shard
+        // each sync window of simulated seconds for the epoch exchange;
         // otherwise one unbounded window serves everything.
-        let sync_s = match (&self.backbone, n_shards) {
-            (Some(bb), n) if n > 1 => bb.sync_every_s(),
-            _ => f64::INFINITY,
-        };
+        let sync_s = sync_window;
         let mut backbone_syncs = 0u64;
+        let mut tier2_grant: Option<TierGrant> = None;
         let mut window = 0u64;
         loop {
-            if let Some(bb) = self.backbone.as_ref().filter(|_| sync_s.is_finite()) {
-                let demands: Vec<Grid<f64>> =
-                    runs.iter().map(|r| r.cross_shard_demand(bb.groups(), bb.n_groups())).collect();
-                let shares = bb.allocate(&demands);
-                for ((run, share), demand) in runs.iter_mut().zip(&shares).zip(&demands) {
-                    run.apply_backbone_share(bb.groups(), share, demand);
-                }
-                backbone_syncs += 1;
+            if sync_s.is_finite() {
+                backbone_syncs += exchange_tiers(
+                    self.backbone.as_ref(),
+                    self.hierarchy.as_ref(),
+                    &mut runs,
+                    window,
+                    &mut tier2_grant,
+                );
             }
             window += 1;
             let deadline_s =
@@ -388,13 +442,228 @@ impl ShardedFleetEngine {
             );
         }
 
+        let peak_tracked = runs.iter().map(FleetRun::peak_tracked).sum();
         let per_shard: Vec<FleetReport> = runs.into_iter().map(FleetRun::into_report).collect();
         Ok(ShardedFleetReport {
             fleet: merge_reports(&per_shard),
             per_shard,
             policy: policy_name,
             backbone_syncs,
+            peak_tracked,
         })
+    }
+
+    /// Serves `total_jobs` arrivals pulled lazily from `stream` —
+    /// `(arrival_s, profile)` pairs in non-decreasing time order — with
+    /// O(window) per-job state instead of O(trace): each sync window the
+    /// driver feeds the arrivals due inside it to their shards (the
+    /// policy sees the job's global index), steps every shard on rayon,
+    /// then drains the window's completions in `(completed_s, shard)`
+    /// order into fleet-wide streaming totals, retaining at most
+    /// `retain_outcomes` individual outcomes.
+    ///
+    /// Shard engines should keep their default
+    /// [`retain_outcomes`](crate::FleetConfig::retain_outcomes) —
+    /// per-shard vectors are drained every window, so they never outgrow
+    /// one window's completions; a shard-level cap would silently drop
+    /// outcomes *before* the drain and corrupt the fleet totals.
+    ///
+    /// The merged report is exact ([`FleetReport::new`]) when every
+    /// outcome fit under `retain_outcomes`, sketched
+    /// ([`FleetReport::streamed`]) otherwise; either way it is
+    /// bit-identical across repeats and `RAYON_NUM_THREADS` settings.
+    /// The drain order differs from [`ShardedFleetEngine::run`]'s global
+    /// completion-time merge only in that it is window-partitioned first,
+    /// which is the same order whenever windows align — and always
+    /// deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WanifyError`] exactly as [`ShardedFleetEngine::run`]
+    /// does, plus [`WanifyError::InvalidConfig`] for invalid or
+    /// decreasing streamed arrival times and a stream that runs dry
+    /// before `total_jobs`.
+    pub fn run_stream(
+        self,
+        total_jobs: usize,
+        stream: Box<dyn Iterator<Item = (f64, JobProfile)> + Send>,
+        retain_outcomes: usize,
+    ) -> Result<ShardedFleetReport, WanifyError> {
+        let n_shards = self.shards.len();
+        self.validate_shards()?;
+        let sync_s = self.sync_window_s();
+        let topo = self.shards[0].sim().topology().clone();
+        let policy_name = self.policy.name().to_string();
+        let mut runs: Vec<FleetRun> =
+            self.shards.into_iter().map(FleetRun::start_serving).collect();
+
+        let mut stream = stream.peekable();
+        let mut issued = 0usize;
+        let mut last_t = 0.0f64;
+        let mut backbone_syncs = 0u64;
+        let mut tier2_grant: Option<TierGrant> = None;
+        let mut window = 0u64;
+        let mut totals = StreamingTotals::default();
+        let mut outcomes: Vec<JobOutcome> = Vec::new();
+        let mut first_arrival_s = f64::INFINITY;
+        let mut last_completed_s = f64::NEG_INFINITY;
+        loop {
+            let window_end =
+                if sync_s.is_finite() { (window + 1) as f64 * sync_s } else { f64::INFINITY };
+
+            // Feed every arrival due inside this window to its shard.
+            while issued < total_jobs {
+                match stream.peek() {
+                    Some(&(at_s, _)) if at_s <= window_end => {
+                        if !(at_s.is_finite() && at_s >= 0.0) {
+                            return Err(WanifyError::InvalidConfig(format!(
+                                "streamed arrival times must be finite and non-negative, \
+                                 got {at_s}"
+                            )));
+                        }
+                        if at_s < last_t {
+                            return Err(WanifyError::InvalidConfig(format!(
+                                "streamed arrivals must be non-decreasing, got {at_s} \
+                                 after {last_t}"
+                            )));
+                        }
+                        last_t = at_s;
+                        let (at_s, job) = stream.next().expect("peeked");
+                        let s = self.policy.shard_of(issued, &job, &topo, n_shards) % n_shards;
+                        runs[s].feed_job(issued, job, at_s);
+                        issued += 1;
+                    }
+                    Some(_) => break,
+                    None => {
+                        return Err(WanifyError::InvalidConfig(format!(
+                            "arrival stream ran dry after {issued} of {total_jobs} jobs"
+                        )));
+                    }
+                }
+            }
+
+            if sync_s.is_finite() {
+                backbone_syncs += exchange_tiers(
+                    self.backbone.as_ref(),
+                    self.hierarchy.as_ref(),
+                    &mut runs,
+                    window,
+                    &mut tier2_grant,
+                );
+            }
+            window += 1;
+            let stepped: Vec<(FleetRun, Option<WanifyError>)> = runs
+                .into_par_iter()
+                .map(|mut run| {
+                    let err = if run.finished() { None } else { run.run_until(window_end).err() };
+                    (run, err)
+                })
+                .collect();
+            runs = Vec::with_capacity(n_shards);
+            for (run, err) in stepped {
+                if let Some(e) = err {
+                    return Err(e);
+                }
+                runs.push(run);
+            }
+
+            // Drain this window's completions in (completed_s, shard)
+            // order — deterministic at any thread count — into the
+            // fleet-wide totals.
+            let mut drained: Vec<(usize, JobOutcome)> = Vec::new();
+            for (s, run) in runs.iter_mut().enumerate() {
+                drained.extend(run.take_outcomes().into_iter().map(|o| (s, o)));
+            }
+            drained.sort_by(|(sa, a), (sb, b)| {
+                a.completed_s.total_cmp(&b.completed_s).then(sa.cmp(sb))
+            });
+            for (_, o) in drained {
+                first_arrival_s = first_arrival_s.min(o.arrived_s);
+                last_completed_s = last_completed_s.max(o.completed_s);
+                totals.absorb(&o);
+                if outcomes.len() < retain_outcomes {
+                    outcomes.push(o);
+                }
+            }
+
+            if issued == total_jobs && runs.iter().all(FleetRun::finished) {
+                break;
+            }
+            debug_assert!(
+                sync_s.is_finite(),
+                "an unbounded window either finishes every shard or errors"
+            );
+        }
+
+        let peak_tracked = runs.iter().map(FleetRun::peak_tracked).sum::<usize>() + outcomes.len();
+        let per_shard: Vec<FleetReport> = runs.into_iter().map(FleetRun::into_report).collect();
+        let duration_s =
+            if totals.completed == 0 { 0.0 } else { last_completed_s - first_arrival_s };
+        let gauges = per_shard.iter().map(|r| r.gauges).sum();
+        let faults = merge_faults(&per_shard);
+        let scheduler = per_shard.first().map_or_else(String::new, |r| r.scheduler.clone());
+        let belief = per_shard.first().map_or_else(String::new, |r| r.belief.clone());
+        let fleet = if totals.completed == outcomes.len() {
+            FleetReport::new(outcomes, duration_s, gauges, scheduler, belief, faults)
+        } else {
+            FleetReport::streamed(outcomes, duration_s, gauges, scheduler, belief, faults, totals)
+        };
+        Ok(ShardedFleetReport {
+            fleet,
+            per_shard,
+            policy: policy_name,
+            backbone_syncs,
+            peak_tracked,
+        })
+    }
+}
+
+/// One sync-point exchange: allocates every due tier and applies the
+/// grants to all shards. A flat backbone refreshes every window. Under a
+/// hierarchy, the fine tier refreshes every window while the coarse tier
+/// refreshes only every `sync_ratio`-th window — its last grant (shares
+/// *and* the demand snapshot they were computed against) persists in
+/// between — and both tiers' caps are applied together, composed
+/// cell-wise by the engine. Returns the number of tier exchanges
+/// performed.
+fn exchange_tiers(
+    backbone: Option<&Backbone>,
+    hierarchy: Option<&BackboneHierarchy>,
+    runs: &mut [FleetRun],
+    window: u64,
+    tier2_grant: &mut Option<TierGrant>,
+) -> u64 {
+    if let Some(h) = hierarchy {
+        let (t1, t2) = (h.tier1(), h.tier2());
+        let d1: Vec<Grid<f64>> =
+            runs.iter().map(|r| r.cross_shard_demand(t1.groups(), t1.n_groups())).collect();
+        let s1 = t1.allocate(&d1);
+        let mut exchanges = 1;
+        if window.is_multiple_of(h.sync_ratio() as u64) {
+            let d2: Vec<Grid<f64>> =
+                runs.iter().map(|r| r.cross_shard_demand(t2.groups(), t2.n_groups())).collect();
+            let s2 = t2.allocate(&d2);
+            *tier2_grant = Some((s2, d2));
+            exchanges += 1;
+        }
+        let (s2, d2) = tier2_grant.as_ref().expect("tier 2 granted at window 0");
+        for (i, run) in runs.iter_mut().enumerate() {
+            run.apply_backbone_tiers(&[
+                (t1.groups(), &s1[i], &d1[i]),
+                (t2.groups(), &s2[i], &d2[i]),
+            ]);
+        }
+        exchanges
+    } else if let Some(bb) = backbone {
+        let demands: Vec<Grid<f64>> =
+            runs.iter().map(|r| r.cross_shard_demand(bb.groups(), bb.n_groups())).collect();
+        let shares = bb.allocate(&demands);
+        for ((run, share), demand) in runs.iter_mut().zip(&shares).zip(&demands) {
+            run.apply_backbone_share(bb.groups(), share, demand);
+        }
+        1
+    } else {
+        0
     }
 }
 
@@ -419,17 +688,7 @@ fn merge_reports(per_shard: &[FleetReport]) -> FleetReport {
         last_completion - first_arrival
     };
     let gauges = per_shard.iter().map(|r| r.gauges).sum();
-    // Event counters sum across shards; degraded time does not — every
-    // shard replicates the same WAN (and fault schedule), so summing
-    // would multiply one outage by the shard count.
-    let mut faults = crate::fleet::FaultCounters::default();
-    for r in per_shard {
-        faults.stalled_flows += r.faults.stalled_flows;
-        faults.retries += r.faults.retries;
-        faults.replacements += r.faults.replacements;
-        faults.failed_jobs += r.faults.failed_jobs;
-        faults.degraded_s = faults.degraded_s.max(r.faults.degraded_s);
-    }
+    let faults = merge_faults(per_shard);
     FleetReport::new(
         outcomes,
         duration_s,
@@ -438,6 +697,22 @@ fn merge_reports(per_shard: &[FleetReport]) -> FleetReport {
         per_shard.first().map_or_else(String::new, |r| r.belief.clone()),
         faults,
     )
+}
+
+/// Merges per-shard fault counters: event counters sum across shards;
+/// degraded time does not — every shard replicates the same WAN (and
+/// fault schedule), so summing would multiply one outage by the shard
+/// count.
+fn merge_faults(per_shard: &[FleetReport]) -> crate::fleet::FaultCounters {
+    let mut faults = crate::fleet::FaultCounters::default();
+    for r in per_shard {
+        faults.stalled_flows += r.faults.stalled_flows;
+        faults.retries += r.faults.retries;
+        faults.replacements += r.faults.replacements;
+        faults.failed_jobs += r.faults.failed_jobs;
+        faults.degraded_s = faults.degraded_s.max(r.faults.degraded_s);
+    }
+    faults
 }
 
 // Engine-level behaviour (completion, determinism, thread-count

@@ -27,7 +27,13 @@ fn engine(n: usize, seed: u64, max_concurrent: usize, sched_id: usize) -> FleetE
         sim,
         scheduler,
         Box::new(wanify::StaticIndependent::new()),
-        FleetConfig { max_concurrent, regauge_every_s: 120.0, conns: None, faults: None },
+        FleetConfig {
+            max_concurrent,
+            regauge_every_s: 120.0,
+            conns: None,
+            faults: None,
+            ..FleetConfig::default()
+        },
     )
 }
 

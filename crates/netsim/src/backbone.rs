@@ -106,6 +106,27 @@ impl Backbone {
         Self::new(group_of, Grid::filled(seen.len(), trunk_mbps), sync_every_s)
     }
 
+    /// A backbone grouping `topo`'s DCs by cloud region, with
+    /// `trunk_mbps` capacity per directed trunk — the fine tier of a
+    /// [`BackboneHierarchy`] over tiled many-DC topologies
+    /// ([`crate::paper_testbed_tiled`]), where every region hosts
+    /// several DCs. Group ids are compacted in order of first
+    /// appearance, like [`Backbone::continental`].
+    pub fn regional(topo: &Topology, trunk_mbps: f64, sync_every_s: f64) -> Self {
+        let mut seen: Vec<Region> = Vec::new();
+        let group_of: Vec<usize> = topo
+            .iter()
+            .map(|(_, dc)| match seen.iter().position(|&s| s == dc.region) {
+                Some(dense) => dense,
+                None => {
+                    seen.push(dc.region);
+                    seen.len() - 1
+                }
+            })
+            .collect();
+        Self::new(group_of, Grid::filled(seen.len(), trunk_mbps), sync_every_s)
+    }
+
     /// Region group of a DC.
     ///
     /// # Panics
@@ -224,6 +245,103 @@ impl Backbone {
     }
 }
 
+/// A two-tier backbone: shards-of-shards.
+///
+/// Large fleets split a 64+ DC topology across many shards, but a flat
+/// [`Backbone`] forces every shard pair through one exchange at one
+/// granularity. A hierarchy layers two:
+///
+/// * **tier 1** (fine): region groups with their own trunk capacities,
+///   exchanged every `tier1.sync_every_s()` — the frequent, cheap sync
+///   between sibling shards;
+/// * **tier 2** (coarse): super-groups (e.g. continents) with their own
+///   trunks, exchanged every `tier2.sync_every_s()` — an integer
+///   multiple of the tier-1 window, so tier-2 syncs land exactly on
+///   every `sync_ratio()`-th tier-1 sync point.
+///
+/// Tier 1 must **refine** tier 2: two DCs sharing a tier-1 group always
+/// share a tier-2 super-group, so a boundary pair's tier-2 trunk is a
+/// strictly coarser constraint and the two grants compose by per-pair
+/// minimum ([`crate::NetEngine::apply_backbone_tiers`]). Between tier-2
+/// syncs a shard keeps running on its stale tier-2 grant — the same
+/// one-window coarseness the flat exchange already accepts, one level
+/// up.
+#[derive(Debug, Clone)]
+pub struct BackboneHierarchy {
+    tier1: Backbone,
+    tier2: Backbone,
+    sync_ratio: usize,
+}
+
+impl BackboneHierarchy {
+    /// Builds the hierarchy and validates its invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tiers cover different DC counts, tier 1 does not
+    /// refine tier 2, or tier 2's sync window is not an integer multiple
+    /// of tier 1's.
+    pub fn new(tier1: Backbone, tier2: Backbone) -> Self {
+        assert_eq!(
+            tier1.groups().len(),
+            tier2.groups().len(),
+            "both tiers must group the same data centers"
+        );
+        // Refinement: every tier-1 group maps into exactly one tier-2
+        // super-group.
+        let mut super_of_group: Vec<Option<usize>> = vec![None; tier1.n_groups()];
+        for (dc, (&g, &s)) in tier1.groups().iter().zip(tier2.groups()).enumerate() {
+            match super_of_group[g] {
+                None => super_of_group[g] = Some(s),
+                Some(prev) => assert_eq!(
+                    prev, s,
+                    "tier 1 must refine tier 2: DC{dc} puts group {g} in super-group {s}, \
+                     but another DC put it in {prev}"
+                ),
+            }
+        }
+        let ratio = tier2.sync_every_s() / tier1.sync_every_s();
+        let sync_ratio = ratio.round() as usize;
+        assert!(
+            sync_ratio >= 1 && (ratio - sync_ratio as f64).abs() < 1e-9,
+            "tier-2 sync window ({}s) must be an integer multiple of tier 1's ({}s)",
+            tier2.sync_every_s(),
+            tier1.sync_every_s()
+        );
+        Self { tier1, tier2, sync_ratio }
+    }
+
+    /// The natural hierarchy for tiled paper topologies: tier 1 groups
+    /// by cloud region, tier 2 by continent.
+    pub fn regional_continental(
+        topo: &Topology,
+        regional_trunk_mbps: f64,
+        continental_trunk_mbps: f64,
+        tier1_sync_s: f64,
+        tier2_sync_s: f64,
+    ) -> Self {
+        Self::new(
+            Backbone::regional(topo, regional_trunk_mbps, tier1_sync_s),
+            Backbone::continental(topo, continental_trunk_mbps, tier2_sync_s),
+        )
+    }
+
+    /// The fine tier (region groups).
+    pub fn tier1(&self) -> &Backbone {
+        &self.tier1
+    }
+
+    /// The coarse tier (super-groups).
+    pub fn tier2(&self) -> &Backbone {
+        &self.tier2
+    }
+
+    /// How many tier-1 windows one tier-2 window spans.
+    pub fn sync_ratio(&self) -> usize {
+        self.sync_ratio
+    }
+}
+
 /// Continent of a region, for [`Backbone::continental`].
 fn continent_of(region: Region) -> usize {
     match region {
@@ -337,6 +455,47 @@ mod tests {
     #[should_panic(expected = "sync interval")]
     fn zero_sync_interval_is_rejected() {
         let _ = Backbone::uniform(vec![0, 1], 100.0, 0.0);
+    }
+
+    #[test]
+    fn regional_groups_a_tiled_testbed_by_region() {
+        let topo = crate::paper_testbed_tiled(VmType::t2_medium(), 20);
+        let bb = Backbone::regional(&topo, 2000.0, 10.0);
+        assert_eq!(bb.n_groups(), 8, "20 DCs tile all 8 paper regions");
+        // DC 0 and DC 8 are both US East: same region group.
+        assert_eq!(bb.group_of(DcId(0)), bb.group_of(DcId(8)));
+        assert!(bb.is_cross(DcId(0), DcId(1)));
+        assert!(!bb.is_cross(DcId(3), DcId(11)));
+    }
+
+    #[test]
+    fn hierarchy_validates_refinement_and_sync_ratio() {
+        let topo = crate::paper_testbed_tiled(VmType::t2_medium(), 16);
+        let h = BackboneHierarchy::regional_continental(&topo, 2000.0, 5000.0, 10.0, 30.0);
+        assert_eq!(h.sync_ratio(), 3);
+        assert_eq!(h.tier1().n_groups(), 8);
+        assert_eq!(h.tier2().n_groups(), 3);
+        // Refinement in action: a regional boundary inside a continent
+        // crosses tier 1 but not tier 2.
+        assert!(h.tier1().is_cross(DcId(0), DcId(1)));
+        assert!(!h.tier2().is_cross(DcId(0), DcId(1)), "US East / US West share a continent");
+    }
+
+    #[test]
+    #[should_panic(expected = "refine")]
+    fn hierarchy_rejects_non_refining_tiers() {
+        // Tier 1 lumps DCs 0 and 1 together, but tier 2 separates them.
+        let t1 = Backbone::uniform(vec![0, 0, 1], 100.0, 10.0);
+        let t2 = Backbone::uniform(vec![0, 1, 1], 100.0, 20.0);
+        let _ = BackboneHierarchy::new(t1, t2);
+    }
+
+    #[test]
+    #[should_panic(expected = "integer multiple")]
+    fn hierarchy_rejects_misaligned_sync_windows() {
+        let t1 = Backbone::uniform(vec![0, 0, 1], 100.0, 10.0);
+        let t2 = Backbone::uniform(vec![0, 0, 1], 100.0, 25.0);
+        let _ = BackboneHierarchy::new(t1, t2);
     }
 
     #[test]

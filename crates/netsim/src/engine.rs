@@ -551,6 +551,49 @@ impl NetEngine {
         share_mbps: &Grid<f64>,
         demand_mbps: &Grid<f64>,
     ) {
+        let caps = self.backbone_caps(group_of, share_mbps, demand_mbps);
+        self.sim.set_backbone_caps(caps);
+    }
+
+    /// Applies several grouping tiers' grants at once, composing them by
+    /// per-pair **minimum** — the hierarchical-sharding seam. A boundary
+    /// pair crossing both a region-group border (tier 1) and a
+    /// super-group border (tier 2) is limited by whichever tier grants
+    /// it less; a pair interior to some tier is unconstrained by that
+    /// tier, exactly as in the single-tier call. Each tier is an
+    /// `(group_of, share, demand)` triple with the same semantics as
+    /// [`NetEngine::apply_backbone_allocation`]; the composed caps
+    /// replace any previous backbone reservation in one shot (two
+    /// sequential single-tier calls would instead overwrite each other).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tier's group map does not match the topology size.
+    pub fn apply_backbone_tiers(&mut self, tiers: &[(&[usize], &Grid<f64>, &Grid<f64>)]) {
+        let n = self.sim.topology().len();
+        let mut caps = Grid::filled(n, f64::INFINITY);
+        for &(group_of, share, demand) in tiers {
+            let tier = self.backbone_caps(group_of, share, demand);
+            for src in 0..n {
+                for dst in 0..n {
+                    let composed = caps.get(src, dst).min(tier.get(src, dst));
+                    caps.set(src, dst, composed);
+                }
+            }
+        }
+        self.sim.set_backbone_caps(caps);
+    }
+
+    /// The per-pair cap grid one tier's grant induces: each trunk's
+    /// grant split across this engine's in-flight boundary pairs on that
+    /// trunk proportionally to their unreserved ceilings (see
+    /// [`NetEngine::apply_backbone_allocation`] for the semantics).
+    fn backbone_caps(
+        &self,
+        group_of: &[usize],
+        share_mbps: &Grid<f64>,
+        demand_mbps: &Grid<f64>,
+    ) -> Grid<f64> {
         let n = self.sim.topology().len();
         assert_eq!(group_of.len(), n, "group map must cover every DC");
         let totals = demand_mbps;
@@ -582,7 +625,7 @@ impl NetEngine {
                 caps.set(pair.src, pair.dst, if cell.is_infinite() { slice } else { cell + slice });
             }
         }
-        self.sim.set_backbone_caps(caps);
+        caps
     }
 
     /// Aggregate rate per directed pair at the last fairness solve, in

@@ -81,7 +81,7 @@ pub mod vm;
 
 mod params;
 
-pub use backbone::Backbone;
+pub use backbone::{Backbone, BackboneHierarchy};
 pub use dynamics::Dynamics;
 pub use engine::{GroupId, GroupReport, NetEngine};
 pub use fairness::{allocate_max_min, FairnessProblem, FairnessWorkspace, ResourceKind};
@@ -136,6 +136,26 @@ pub fn paper_testbed_n(vm: VmType, n: usize) -> Topology {
     let mut b = Topology::builder();
     for region in regions.iter().take(n) {
         b = b.dc(*region, vm.clone(), 1);
+    }
+    b.build().expect("n >= 2 DCs")
+}
+
+/// A testbed of `n` DCs tiling the eight paper regions in
+/// [`Region::paper_order`] — DC `i` lives in region `i % 8` — for the
+/// 64+ DC scale experiments the 8-region testbed cannot express. Every
+/// region hosts `ceil(n / 8)`-ish DCs, so [`Backbone::regional`] /
+/// [`backbone::BackboneHierarchy::regional_continental`] give it a
+/// natural two-tier decomposition.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn paper_testbed_tiled(vm: VmType, n: usize) -> Topology {
+    assert!(n >= 2, "a tiled testbed needs at least 2 DCs, got {n}");
+    let regions = Region::paper_order();
+    let mut b = Topology::builder();
+    for i in 0..n {
+        b = b.dc(regions[i % regions.len()], vm.clone(), 1);
     }
     b.build().expect("n >= 2 DCs")
 }

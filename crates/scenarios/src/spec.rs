@@ -675,6 +675,7 @@ impl ScenarioSpec {
             regauge_every_s: self.regauge_every_s,
             conns: None,
             faults: self.policy,
+            ..FleetConfig::default()
         }
     }
 

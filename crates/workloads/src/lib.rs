@@ -19,6 +19,12 @@
 //! Each model captures the *shape* that drives WAN behaviour — stage
 //! structure, shuffle volume per DC pair and compute/network balance — not
 //! the byte-exact semantics of the original programs.
+//!
+//! Every generator has two forms: a materialized `Vec` (small runs,
+//! tests) and an O(1)-memory streaming iterator ([`trace_iter`],
+//! [`regional_trace_iter`], [`offered_load_iter`]) that produces the
+//! identical sequence bit for bit — the form million-query fleets are
+//! driven from.
 
 pub mod loadgen;
 pub mod quantization;
@@ -27,7 +33,12 @@ pub mod tpcds;
 pub mod trace;
 pub mod wordcount;
 
-pub use loadgen::{offered_load, rate_sweep, LoadSpec, OfferedJob};
+pub use loadgen::{
+    offered_load, offered_load_iter, rate_sweep, LoadSpec, OfferedJob, OfferedLoadIter,
+};
 pub use quantization::{QuantConfig, QuantPolicy, TrainingReport};
 pub use tpcds::TpcDsQuery;
-pub use trace::{mixed_trace, regional_mixed_trace, TraceConfig};
+pub use trace::{
+    mixed_trace, regional_mixed_trace, regional_trace_iter, trace_iter, RegionalTraceIter,
+    TraceConfig, TraceIter,
+};

@@ -10,8 +10,8 @@
 //! stretched in time) — the sweep a goodput-vs-load curve is measured
 //! on, from well below saturation to far beyond it.
 
-use crate::trace::{mixed_trace, TraceConfig};
-use wanify_gda::{poisson_arrival_times, JobProfile};
+use crate::trace::{trace_iter, TraceConfig, TraceIter};
+use wanify_gda::{poisson_times_iter, JobProfile, PoissonTimes};
 
 /// Shape of one open-loop offered load.
 #[derive(Debug, Clone)]
@@ -85,6 +85,20 @@ pub struct OfferedJob {
 /// Panics on a degenerate spec: no jobs, no DCs, a non-positive scale
 /// or rate, or a non-positive deadline slack.
 pub fn offered_load(spec: &LoadSpec) -> Vec<OfferedJob> {
+    offered_load_iter(spec).collect()
+}
+
+/// The streaming form of [`offered_load`]: zips the streaming trace
+/// ([`trace_iter`]) with the streaming Poisson arrival schedule
+/// ([`poisson_times_iter`]), so a million-request stream is generated
+/// in O(1) memory. `Clone + Send`; collecting it reproduces the
+/// materialized Vec bit for bit.
+///
+/// # Panics
+///
+/// Panics on a degenerate spec: no jobs, no DCs, a non-positive scale
+/// or rate, or a non-positive deadline slack.
+pub fn offered_load_iter(spec: &LoadSpec) -> OfferedLoadIter {
     assert!(
         spec.rate_per_s.is_finite() && spec.rate_per_s > 0.0,
         "offered rate must be finite and positive, got {}",
@@ -96,18 +110,39 @@ pub fn offered_load(spec: &LoadSpec) -> Vec<OfferedJob> {
             "deadline slack must be finite and positive, got {slack}"
         );
     }
-    let jobs = mixed_trace(&TraceConfig::new(spec.n_dcs, spec.jobs, spec.seed).scaled(spec.scale));
-    let times =
-        poisson_arrival_times(spec.jobs, spec.rate_per_s, spec.seed).expect("rate validated above");
-    jobs.into_iter()
-        .zip(times)
-        .map(|(job, arrival_s)| OfferedJob {
+    let jobs = trace_iter(&TraceConfig::new(spec.n_dcs, spec.jobs, spec.seed).scaled(spec.scale));
+    let times = poisson_times_iter(spec.rate_per_s, spec.seed).expect("rate validated above");
+    OfferedLoadIter { jobs, times, deadline_slack_s: spec.deadline_slack_s }
+}
+
+/// Streaming request source behind [`offered_load`]; see
+/// [`offered_load_iter`].
+#[derive(Debug, Clone)]
+pub struct OfferedLoadIter {
+    jobs: TraceIter,
+    times: PoissonTimes,
+    deadline_slack_s: Option<f64>,
+}
+
+impl Iterator for OfferedLoadIter {
+    type Item = OfferedJob;
+
+    fn next(&mut self) -> Option<OfferedJob> {
+        let job = self.jobs.next()?;
+        let arrival_s = self.times.next().expect("Poisson stream is unbounded");
+        Some(OfferedJob {
             job,
             arrival_s,
-            deadline_s: spec.deadline_slack_s.map(|slack| arrival_s + slack),
+            deadline_s: self.deadline_slack_s.map(|slack| arrival_s + slack),
         })
-        .collect()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.jobs.size_hint()
+    }
 }
+
+impl ExactSizeIterator for OfferedLoadIter {}
 
 /// The same base load at each offered rate: identical job mix and
 /// arrival pattern, compressed or stretched in time. This is the sweep

@@ -10,6 +10,15 @@
 //! identical trace, which is what makes fleet runs reproducible end to
 //! end. [`regional_mixed_trace`] additionally homes every job to a
 //! region group — the tenant shape sharded fleets partition on.
+//!
+//! Both builders are thin `collect()`s over **streaming iterators**
+//! ([`trace_iter`], [`regional_trace_iter`]): the iterator holds one
+//! seeded RNG and synthesizes each job on demand, so a 10⁶-query fleet
+//! run never materializes its trace — O(1) memory at any length, while
+//! the `Vec` path stays available (and bit-identical, pinned by a
+//! proptest) for the dozens-of-queries experiments. The iterators are
+//! `Clone + Send`, so a sharded driver can fan one trace definition out
+//! to shard threads without sharing mutable state.
 
 use crate::{terasort, wordcount, TpcDsQuery};
 use rand::rngs::StdRng;
@@ -64,14 +73,62 @@ impl TraceConfig {
 /// assert_eq!(jobs, mixed_trace(&TraceConfig::new(4, 10, 7)));
 /// ```
 pub fn mixed_trace(cfg: &TraceConfig) -> Vec<JobProfile> {
+    trace_iter(cfg).collect()
+}
+
+/// The streaming form of [`mixed_trace`]: a `Clone + Send` iterator that
+/// synthesizes job `i` only when asked for it. Holds one [`StdRng`] and a
+/// position — O(1) memory at any trace length — and draws the exact RNG
+/// stream `mixed_trace` draws, so collecting it reproduces the
+/// materialized trace bit for bit (pinned by the
+/// `streaming_trace_matches_materialized` proptest).
+///
+/// # Panics
+///
+/// Panics as [`mixed_trace`] does for degenerate configs.
+///
+/// # Examples
+///
+/// ```
+/// use wanify_workloads::trace::{mixed_trace, trace_iter, TraceConfig};
+/// let cfg = TraceConfig::new(4, 10, 7);
+/// assert_eq!(trace_iter(&cfg).collect::<Vec<_>>(), mixed_trace(&cfg));
+/// ```
+pub fn trace_iter(cfg: &TraceConfig) -> TraceIter {
     assert!(cfg.n_dcs > 0, "a trace needs at least one DC");
     assert!(cfg.jobs > 0, "a trace needs at least one job");
     assert!(cfg.scale > 0.0, "trace scale must be positive");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut jobs = Vec::with_capacity(cfg.jobs);
-    for idx in 0..cfg.jobs {
+    TraceIter { cfg: cfg.clone(), rng: StdRng::seed_from_u64(cfg.seed), idx: 0 }
+}
+
+/// Streaming job source behind [`mixed_trace`]; see [`trace_iter`].
+#[derive(Debug, Clone)]
+pub struct TraceIter {
+    cfg: TraceConfig,
+    rng: StdRng,
+    idx: usize,
+}
+
+impl TraceIter {
+    /// Jobs this iterator will have produced when exhausted.
+    pub fn total(&self) -> usize {
+        self.cfg.jobs
+    }
+}
+
+impl Iterator for TraceIter {
+    type Item = JobProfile;
+
+    fn next(&mut self) -> Option<JobProfile> {
+        if self.idx >= self.cfg.jobs {
+            return None;
+        }
+        let idx = self.idx;
+        self.idx += 1;
+        let cfg = &self.cfg;
+        let rng = &mut self.rng;
         let input_gb = cfg.scale * rng.gen_range(1.0..8.0);
-        let layout = sample_layout(cfg.n_dcs, input_gb, &mut rng);
+        let layout = sample_layout(cfg.n_dcs, input_gb, rng);
         let pick: f64 = rng.gen();
         let mut job = if pick < 0.2 {
             terasort::job(layout)
@@ -87,10 +144,16 @@ pub fn mixed_trace(cfg: &TraceConfig) -> Vec<JobProfile> {
             j
         };
         job.name = format!("{}-{idx}", job.name);
-        jobs.push(job);
+        Some(job)
     }
-    jobs
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.cfg.jobs - self.idx;
+        (left, Some(left))
+    }
 }
+
+impl ExactSizeIterator for TraceIter {}
 
 /// Samples a **region-tagged** mixed trace: the same workload mix as
 /// [`mixed_trace`], but every job is homed to one of the region groups in
@@ -119,21 +182,60 @@ pub fn mixed_trace(cfg: &TraceConfig) -> Vec<JobProfile> {
 /// assert!(jobs[0].name.contains("@g"));
 /// ```
 pub fn regional_mixed_trace(cfg: &TraceConfig, group_of: &[usize]) -> Vec<JobProfile> {
+    regional_trace_iter(cfg, group_of.to_vec()).collect()
+}
+
+/// The streaming form of [`regional_mixed_trace`]: wraps [`trace_iter`]
+/// and applies the region-group homing per item, so the region-tagged
+/// trace is O(1) memory too. `Clone + Send`; collecting it reproduces
+/// the materialized regional trace bit for bit.
+///
+/// # Panics
+///
+/// Panics if `group_of.len() != cfg.n_dcs` (and as [`trace_iter`] for
+/// degenerate configs).
+pub fn regional_trace_iter(cfg: &TraceConfig, group_of: Vec<usize>) -> RegionalTraceIter {
     assert_eq!(
         group_of.len(),
         cfg.n_dcs,
         "group map must assign every DC of the trace a region group"
     );
     let n_groups = group_of.iter().copied().max().map_or(1, |g| g + 1);
-    let mut jobs = mixed_trace(cfg);
-    for (idx, job) in jobs.iter_mut().enumerate() {
-        let home = idx % n_groups;
-        let home_dcs: Vec<usize> = (0..cfg.n_dcs).filter(|&dc| group_of[dc] == home).collect();
+    RegionalTraceIter { inner: trace_iter(cfg), group_of, n_groups }
+}
+
+/// Streaming job source behind [`regional_mixed_trace`]; see
+/// [`regional_trace_iter`].
+#[derive(Debug, Clone)]
+pub struct RegionalTraceIter {
+    inner: TraceIter,
+    group_of: Vec<usize>,
+    n_groups: usize,
+}
+
+impl RegionalTraceIter {
+    /// Jobs this iterator will have produced when exhausted.
+    pub fn total(&self) -> usize {
+        self.inner.total()
+    }
+}
+
+impl Iterator for RegionalTraceIter {
+    type Item = JobProfile;
+
+    fn next(&mut self) -> Option<JobProfile> {
+        // The wrapped iterator advances its own index; the job we are
+        // about to home is the one at the pre-advance position.
+        let idx = self.inner.idx;
+        let mut job = self.inner.next()?;
+        let home = idx % self.n_groups;
+        let n_dcs = self.group_of.len();
+        let home_dcs: Vec<usize> = (0..n_dcs).filter(|&dc| self.group_of[dc] == home).collect();
         if !home_dcs.is_empty() {
             // Concentrate the input: move three quarters of every foreign
             // DC's blocks onto the home group, spread round-robin.
             let mut slot = idx % home_dcs.len();
-            for (from, &group) in group_of.iter().enumerate() {
+            for (from, &group) in self.group_of.iter().enumerate() {
                 if group == home {
                     continue;
                 }
@@ -143,9 +245,15 @@ pub fn regional_mixed_trace(cfg: &TraceConfig, group_of: &[usize]) -> Vec<JobPro
             }
         }
         job.name = format!("{}@g{home}", job.name);
+        Some(job)
     }
-    jobs
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
 }
+
+impl ExactSizeIterator for RegionalTraceIter {}
 
 /// Uniform layout two thirds of the time, one third skewed toward a
 /// random region (as the paper's HDFS block moves create).

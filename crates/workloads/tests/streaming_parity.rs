@@ -1,0 +1,97 @@
+//! Streaming-vs-materialized parity: every generator's iterator form
+//! must reproduce its `Vec` form **bit for bit** — same seed, same
+//! jobs, same names, same block layouts, same arrival times — across
+//! random sizes, DC counts, seeds, scales and group maps. The
+//! materialized paths are thin `collect()`s of the iterators, but these
+//! properties pin that equivalence against any future divergence (and
+//! pin clones of a partially-consumed iterator to resume identically).
+
+use proptest::prelude::*;
+use wanify_workloads::{
+    mixed_trace, offered_load, offered_load_iter, regional_mixed_trace, regional_trace_iter,
+    trace_iter, LoadSpec, TraceConfig,
+};
+
+proptest! {
+    #[test]
+    fn streaming_trace_matches_materialized(
+        n_dcs in 1usize..9,
+        jobs in 1usize..60,
+        seed in 0u64..1000,
+        scale in 0.1f64..3.0,
+    ) {
+        let cfg = TraceConfig::new(n_dcs, jobs, seed).scaled(scale);
+        let materialized = mixed_trace(&cfg);
+        let it = trace_iter(&cfg);
+        prop_assert_eq!(it.len(), jobs);
+        prop_assert_eq!(it.total(), jobs);
+        let streamed: Vec<_> = it.collect();
+        prop_assert_eq!(&streamed, &materialized);
+    }
+
+    #[test]
+    fn streaming_regional_trace_matches_materialized(
+        n_dcs in 1usize..9,
+        jobs in 1usize..40,
+        seed in 0u64..500,
+        n_groups in 1usize..4,
+    ) {
+        let cfg = TraceConfig::new(n_dcs, jobs, seed).scaled(0.5);
+        let group_of: Vec<usize> = (0..n_dcs).map(|dc| dc % n_groups).collect();
+        let materialized = regional_mixed_trace(&cfg, &group_of);
+        let streamed: Vec<_> = regional_trace_iter(&cfg, group_of).collect();
+        prop_assert_eq!(&streamed, &materialized);
+    }
+
+    #[test]
+    fn streaming_offered_load_matches_materialized(
+        n_dcs in 1usize..6,
+        jobs in 1usize..40,
+        seed in 0u64..500,
+        rate in 0.001f64..1.0,
+        slack_bit in 0usize..2,
+    ) {
+        let mut spec = LoadSpec::new(n_dcs, jobs, seed, rate).scaled(0.5);
+        if slack_bit == 1 {
+            spec = spec.with_deadline_slack(120.0);
+        }
+        let materialized = offered_load(&spec);
+        let streamed: Vec<_> = offered_load_iter(&spec).collect();
+        prop_assert_eq!(streamed.len(), materialized.len());
+        for (s, m) in streamed.iter().zip(&materialized) {
+            prop_assert_eq!(&s.job, &m.job);
+            prop_assert_eq!(s.arrival_s.to_bits(), m.arrival_s.to_bits());
+            prop_assert_eq!(
+                s.deadline_s.map(f64::to_bits),
+                m.deadline_s.map(f64::to_bits)
+            );
+        }
+    }
+
+    #[test]
+    fn cloned_iterator_resumes_identically(
+        jobs in 2usize..30,
+        split in 1usize..29,
+        seed in 0u64..300,
+    ) {
+        let split = split.min(jobs - 1);
+        let cfg = TraceConfig::new(4, jobs, seed);
+        let mut it = trace_iter(&cfg);
+        for _ in 0..split {
+            it.next().unwrap();
+        }
+        let tail_a: Vec<_> = it.clone().collect();
+        let tail_b: Vec<_> = it.collect();
+        prop_assert_eq!(&tail_a, &tail_b);
+        prop_assert_eq!(tail_a, mixed_trace(&cfg).split_off(split));
+    }
+}
+
+#[test]
+fn trace_iter_is_send_and_clone() {
+    fn takes_send_clone<T: Send + Clone>(_: &T) {}
+    let cfg = TraceConfig::new(3, 5, 1);
+    takes_send_clone(&trace_iter(&cfg));
+    takes_send_clone(&regional_trace_iter(&cfg, vec![0, 1, 0]));
+    takes_send_clone(&offered_load_iter(&LoadSpec::new(3, 5, 1, 0.1)));
+}
